@@ -1,0 +1,28 @@
+"""Figure 1 — the motivating example.
+
+Regenerates both halves: two-level EDF without coordination (RTA2
+misses every other deadline) and RTVirt (no misses).
+"""
+
+from repro.experiments.fig1_motivation import run_fig1
+from repro.simcore.time import sec
+
+from .conftest import run_once
+
+
+def bench(duration_ns=sec(20)):
+    return run_fig1(duration_ns)
+
+
+def test_fig1_motivation(benchmark):
+    results = run_once(benchmark, bench)
+    uncoordinated = results["uncoordinated"]
+    rtvirt = results["rtvirt"]
+    print()
+    print(uncoordinated.summary())
+    print()
+    print(rtvirt.summary())
+    benchmark.extra_info["uncoordinated_rta2_miss"] = uncoordinated.miss_ratio("rta2")
+    benchmark.extra_info["rtvirt_rta2_miss"] = rtvirt.miss_ratio("rta2")
+    assert 0.45 < uncoordinated.miss_ratio("rta2") < 0.55  # "every other deadline"
+    assert rtvirt.miss_ratio("rta2") == 0.0

@@ -1,0 +1,68 @@
+"""Extension benchmark — cross-layer I/O scheduling (paper §7).
+
+Compares device-level FIFO, per-VM fair share, and cross-layer EDF with
+reservations under bursty bulk contention.  The expected shape matches
+the CPU-side story: only cross-layer information (reservations +
+deadlines) controls the latency-critical tail.
+"""
+
+from repro.io import (
+    BlockDevice,
+    CrossLayerEDFIOScheduler,
+    FairShareIOScheduler,
+    FifoIOScheduler,
+)
+from repro.simcore.engine import Engine
+from repro.simcore.time import msec
+
+from .conftest import run_once
+
+KB, MB = 1024, 1024 * 1024
+
+
+def _run(scheduler):
+    engine = Engine()
+    device = BlockDevice(engine, bytes_per_second=200 * MB, scheduler=scheduler)
+    latencies = []
+
+    def bulk():
+        if engine.now < msec(1900):
+            for _ in range(4):
+                device.submit("bulk", 1 * MB)
+            engine.after(msec(24), bulk)
+
+    def probe():
+        if engine.now < msec(1900):
+            device.submit(
+                "latency",
+                64 * KB,
+                deadline=engine.now + msec(10),
+                on_complete=lambda r: latencies.append(r.latency_ns / 1e6),
+            )
+            engine.after(msec(20), probe)
+
+    engine.at(0, bulk)
+    engine.at(0, probe)
+    engine.run_until(msec(2000))
+    return max(latencies), device.miss_count("latency"), len(latencies)
+
+
+def run_comparison():
+    xl = CrossLayerEDFIOScheduler(period_ns=msec(100))
+    xl.reserve("latency", 4 * MB)
+    return {
+        "FIFO": _run(FifoIOScheduler()),
+        "fair-share": _run(FairShareIOScheduler()),
+        "cross-layer EDF": _run(xl),
+    }
+
+
+def test_io_cross_layer_extension(benchmark):
+    results = run_once(benchmark, run_comparison)
+    print()
+    for name, (worst, misses, total) in results.items():
+        print(f"{name:16s} worst {worst:6.2f} ms, misses {misses}/{total}")
+        benchmark.extra_info[f"{name}_misses"] = misses
+    assert results["cross-layer EDF"][1] == 0
+    assert results["FIFO"][1] > 0
+    assert results["cross-layer EDF"][0] < results["FIFO"][0]

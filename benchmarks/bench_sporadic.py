@@ -1,0 +1,19 @@
+"""§4.2 sporadic RTAs — externally triggered activations, no misses.
+
+Runs two representative groups on both frameworks (the full six-group
+sweep is the same code with more wall-clock).
+"""
+
+from repro.experiments.sporadic_rtas import run_sporadic
+
+from .conftest import run_once
+
+
+def test_sporadic_rtas(benchmark):
+    result = run_once(
+        benchmark, run_sporadic, requests_per_rta=25, groups=["H-Equiv", "NH-Dec"]
+    )
+    print()
+    print(result.summary())
+    benchmark.extra_info["total_missed"] = sum(r.missed for r in result.runs)
+    assert result.all_deadlines_met()

@@ -1,0 +1,17 @@
+"""Table 1 / §4.2 — periodic RTA groups under RTVirt and RT-Xen.
+
+The paper's result: both frameworks meet every deadline of every group.
+"""
+
+from repro.experiments.table1_periodic import run_table1
+from repro.simcore.time import sec
+
+from .conftest import run_once
+
+
+def test_table1_periodic_groups(benchmark):
+    result = run_once(benchmark, run_table1, duration_ns=sec(10))
+    print()
+    print(result.summary())
+    benchmark.extra_info["total_missed"] = sum(r.missed for r in result.runs)
+    assert result.all_deadlines_met()

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+benchmark *time* is the wall-clock cost of the simulation (useful for
+tracking simulator performance); the reproduced numbers themselves are
+attached to ``benchmark.extra_info`` and printed, so the bench output
+doubles as the reproduction record.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark and return its result.
+
+    Simulation experiments are deterministic and expensive; a single
+    round is both sufficient and honest.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

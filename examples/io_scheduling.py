@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Cross-layer I/O scheduling (the paper's §7 future work, realized).
+
+A latency-critical VM issues small reads with 10 ms deadlines while a
+bulk-writer VM hammers the shared device in bursts.  Three device
+schedulers compete:
+
+- FIFO (no QoS) — the probe waits behind whole bursts;
+- per-VM fair share (SFQ-style) — proportional but deadline-blind;
+- cross-layer EDF — the guest publishes request deadlines and holds an
+  I/O bandwidth reservation, mirroring RTVirt's CPU design.
+
+Run:  python examples/io_scheduling.py
+"""
+
+from repro.io import (
+    BlockDevice,
+    CrossLayerEDFIOScheduler,
+    FairShareIOScheduler,
+    FifoIOScheduler,
+)
+from repro.simcore.engine import Engine
+from repro.simcore.time import msec
+
+KB, MB = 1024, 1024 * 1024
+DEADLINE_MS = 10
+
+
+def run(scheduler, label):
+    engine = Engine()
+    device = BlockDevice(engine, bytes_per_second=200 * MB, scheduler=scheduler)
+    latencies = []
+
+    def bulk():
+        if engine.now < msec(1900):
+            for _ in range(4):
+                device.submit("bulk", 1 * MB)
+            engine.after(msec(24), bulk)
+
+    def probe():
+        if engine.now < msec(1900):
+            device.submit(
+                "latency",
+                64 * KB,
+                deadline=engine.now + msec(DEADLINE_MS),
+                on_complete=lambda r: latencies.append(r.latency_ns / 1e6),
+            )
+            engine.after(msec(20), probe)
+
+    engine.at(0, bulk)
+    engine.at(0, probe)
+    engine.run_until(msec(2000))
+    misses = device.miss_count("latency")
+    print(
+        f"{label:18s} max latency {max(latencies):6.2f} ms, "
+        f"mean {sum(latencies) / len(latencies):5.2f} ms, "
+        f"deadline misses {misses}/{len(latencies)}"
+    )
+
+
+def main() -> None:
+    print(
+        f"64 KiB reads with {DEADLINE_MS} ms deadlines vs bursty 4 MiB "
+        "writes on a shared 200 MB/s device:\n"
+    )
+    run(FifoIOScheduler(), "FIFO")
+    fair = FairShareIOScheduler()
+    fair.set_weight("latency", 100)
+    fair.set_weight("bulk", 100)
+    run(fair, "fair share")
+    xl = CrossLayerEDFIOScheduler(period_ns=msec(100))
+    xl.reserve("latency", 4 * MB)
+    run(xl, "cross-layer EDF")
+    print(
+        "\nOnly the cross-layer scheduler — reservations plus guest-published "
+        "deadlines, the same recipe RTVirt applies to CPUs — keeps every "
+        "deadline despite the bulk bursts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Tail latency for a virtualized memcached under CPU contention.
+
+The Figure 5a scenario: one memcached VM (100 queries/s, 500 µs p99.9
+SLO) shares two physical CPUs with 19 CPU-bound non-RTA VMs.  The same
+workload runs under three schedulers:
+
+- Xen's Credit scheduler (weights + BOOST),
+- RT-Xen's gEDF deferrable server with its CSA-computed interface,
+- RTVirt's cross-layer DP-WRAP with a (58 µs / 500 µs) reservation.
+
+Run:  python examples/memcached_tail_latency.py [duration_seconds]
+"""
+
+import sys
+
+from repro import sec
+from repro.baselines import (
+    CREDIT_GLOBAL_TIMESLICE_NS,
+    CREDIT_RATELIMIT_NS,
+    MEMCACHED_CREDIT_SHARE,
+    MEMCACHED_RTVIRT_PARAMS,
+    MEMCACHED_RTXEN_A,
+    CreditSystem,
+    RTXenSystem,
+    credit_weight_for_share,
+)
+from repro.core.system import RTVirtSystem
+from repro.experiments.table4_dedicated import CREDIT_WAKE_OVERHEAD_NS
+from repro.simcore.rng import RandomStreams
+from repro.workloads import MemcachedService, add_background_vms
+
+SLO_USEC = 500.0
+
+
+def run_credit(duration_ns, seed):
+    streams = RandomStreams(seed)
+    system = CreditSystem(
+        pcpu_count=2,
+        timeslice_ns=CREDIT_GLOBAL_TIMESLICE_NS,
+        ratelimit_ns=CREDIT_RATELIMIT_NS,
+        wake_overhead_ns=CREDIT_WAKE_OVERHEAD_NS,
+    )
+    vm = system.create_vm(
+        "mc", weight=credit_weight_for_share(MEMCACHED_CREDIT_SHARE, peers=19)
+    )
+    svc = MemcachedService(system.engine, vm, streams.stream("mc")).start()
+    add_background_vms(system, 19)
+    system.run(duration_ns)
+    system.finalize()
+    return "Credit (26% weight)", svc.latency, MEMCACHED_CREDIT_SHARE
+
+
+def run_rtxen(duration_ns, seed):
+    streams = RandomStreams(seed)
+    system = RTXenSystem(pcpu_count=2)
+    iface = MEMCACHED_RTXEN_A
+    vm = system.create_vm("mc", interfaces=[(iface.budget, iface.period)])
+    svc = MemcachedService(system.engine, vm, streams.stream("mc"), register=False)
+    system.register_rta(vm, svc.task)
+    svc.start()
+    add_background_vms(system, 19)
+    system.run(duration_ns)
+    system.finalize()
+    return "RT-Xen A (66µs/283µs)", svc.latency, float(iface.bandwidth)
+
+
+def run_rtvirt(duration_ns, seed):
+    streams = RandomStreams(seed)
+    system = RTVirtSystem(pcpu_count=2, slack_ns=0)
+    vm = system.create_vm("mc", slack_ns=0)
+    budget, period = MEMCACHED_RTVIRT_PARAMS
+    svc = MemcachedService(
+        system.engine, vm, streams.stream("mc"), period_ns=period, slice_ns=budget
+    ).start()
+    add_background_vms(system, 19)
+    system.run(duration_ns)
+    system.finalize()
+    return "RTVirt (58µs/500µs)", svc.latency, budget / period
+
+
+def main() -> None:
+    duration_s = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    duration = sec(duration_s)
+    print(f"memcached vs 19 CPU-bound VMs on 2 PCPUs, {duration_s}s simulated")
+    print(f"SLO: p99.9 <= {SLO_USEC:.0f} µs  (NIC-to-NIC)\n")
+    print(f"{'scheduler':24s} {'reserved':>9s} {'mean':>9s} {'p99':>9s} "
+          f"{'p99.9':>9s}  verdict")
+    for runner in (run_credit, run_rtxen, run_rtvirt):
+        name, latency, reserved = runner(duration, seed=17)
+        tail = latency.tail_usec()
+        verdict = "MEETS SLO" if tail[99.9] <= SLO_USEC else "fails SLO"
+        print(
+            f"{name:24s} {reserved:8.1%} {latency.mean_usec():8.1f}µ "
+            f"{tail[99.0]:8.1f}µ {tail[99.9]:8.1f}µ  {verdict}"
+        )
+    print(
+        "\nRTVirt meets the SLO with half the CPU reservation of RT-Xen A "
+        "(the paper's 50.2% saving); Credit keeps a low average but blows "
+        "the tail when tick-sampled accounting suspends its BOOST."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on this offline box falls back
+to the legacy `setup.py develop` path, which needs this file; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

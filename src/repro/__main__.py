@@ -1,0 +1,7 @@
+"""``python -m repro`` — the experiment runner CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

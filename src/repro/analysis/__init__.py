@@ -1,0 +1,36 @@
+"""Offline real-time analysis: dbf/sbf, CSA (CARTS substitute), DMPR."""
+
+from .csa import csa_best_interface, csa_interface, default_period_candidates, is_schedulable
+from .dbf import AnalysisTask, dbf, dbf_task, demand_checkpoints, hyperperiod, utilization
+from .dmpr import DMPRInterface, claim_for_group, claimed_cpus, decompose
+from .sbf import PeriodicResource, lsbf, sbf
+from .utilization import (
+    dpwrap_schedulable,
+    edf_uniprocessor_schedulable,
+    exact_utilization,
+    minimum_cpus_dpwrap,
+)
+
+__all__ = [
+    "AnalysisTask",
+    "dbf",
+    "dbf_task",
+    "demand_checkpoints",
+    "hyperperiod",
+    "utilization",
+    "PeriodicResource",
+    "sbf",
+    "lsbf",
+    "csa_interface",
+    "csa_best_interface",
+    "default_period_candidates",
+    "is_schedulable",
+    "DMPRInterface",
+    "decompose",
+    "claimed_cpus",
+    "claim_for_group",
+    "exact_utilization",
+    "edf_uniprocessor_schedulable",
+    "dpwrap_schedulable",
+    "minimum_cpus_dpwrap",
+]

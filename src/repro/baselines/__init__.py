@@ -1,0 +1,39 @@
+"""Baseline systems the paper compares against: RT-Xen 2.0 and Xen Credit."""
+
+from .configs import (
+    CREDIT_GLOBAL_TIMESLICE_NS,
+    CREDIT_RATELIMIT_NS,
+    MEMCACHED_CREDIT_SHARE,
+    MEMCACHED_RTVIRT_PARAMS,
+    MEMCACHED_RTXEN_A,
+    MEMCACHED_RTXEN_B,
+    MEMCACHED_SLO_NS,
+    TABLE2_RTXEN_VMS,
+    TABLE2_RTVIRT_VMS,
+    credit_weight_for_share,
+    rtxen_interface_for_rta,
+    rtxen_interfaces_for_group,
+)
+from .credit import BOOST, OVER, UNDER, CreditScheduler, CreditSystem
+from .rtxen import RTXenSystem
+
+__all__ = [
+    "RTXenSystem",
+    "CreditScheduler",
+    "CreditSystem",
+    "BOOST",
+    "UNDER",
+    "OVER",
+    "rtxen_interface_for_rta",
+    "rtxen_interfaces_for_group",
+    "credit_weight_for_share",
+    "TABLE2_RTXEN_VMS",
+    "TABLE2_RTVIRT_VMS",
+    "MEMCACHED_SLO_NS",
+    "MEMCACHED_RTVIRT_PARAMS",
+    "MEMCACHED_RTXEN_A",
+    "MEMCACHED_RTXEN_B",
+    "MEMCACHED_CREDIT_SHARE",
+    "CREDIT_GLOBAL_TIMESLICE_NS",
+    "CREDIT_RATELIMIT_NS",
+]

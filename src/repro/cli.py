@@ -1,0 +1,85 @@
+"""Command-line interface: run the paper's experiments from the shell.
+
+    python -m repro list                 # show the experiment catalogue
+    python -m repro run fig3             # regenerate Figure 3
+    python -m repro run table2 fig1      # several at once
+    python -m repro run all              # the whole evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import registry
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RTVirt (EuroSys'18) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list the reproducible tables and figures")
+    run = sub.add_parser("run", help="run one or more experiments by id")
+    run.add_argument(
+        "ids",
+        nargs="+",
+        metavar="ID",
+        help="experiment ids from `repro list`, or 'all'",
+    )
+    scenario = sub.add_parser(
+        "scenario", help="run a declarative JSON scenario file"
+    )
+    scenario.add_argument("path", help="path to the scenario JSON")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(i) for i in registry.all_ids())
+    for experiment_id in registry.all_ids():
+        entry = registry.REGISTRY[experiment_id]
+        print(f"{experiment_id:<{width}}  {entry.paper_ref:16s} {entry.description}")
+    return 0
+
+
+def _cmd_run(ids: List[str]) -> int:
+    if ids == ["all"]:
+        ids = registry.all_ids()
+    unknown = [i for i in ids if i not in registry.REGISTRY]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known ids: {', '.join(registry.all_ids())}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        entry = registry.REGISTRY[experiment_id]
+        print(f"=== {entry.paper_ref}: {entry.description}")
+        started = time.time()
+        result = entry.runner()
+        print(result.summary())
+        print(f"--- ({time.time() - started:.1f}s wall)\n")
+    return 0
+
+
+def _cmd_scenario(path: str) -> int:
+    from .scenario import run_scenario_file
+
+    result = run_scenario_file(path)
+    print(result.summary())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "scenario":
+        return _cmd_scenario(args.path)
+    return _cmd_run(args.ids)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

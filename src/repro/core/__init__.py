@@ -1,0 +1,23 @@
+"""RTVirt — the paper's primary contribution.
+
+Cross-layer scheduling: guest pEDF + host DP-WRAP, connected by the
+``sched_rtvirt()`` hypercall and a shared-memory deadline page.
+"""
+
+from .admission import UtilizationAdmission
+from .dpwrap import DPWrapScheduler
+from .flags import SchedRTVirtFlag
+from .hypercall import RTVirtHypercall
+from .shared_memory import SharedMemoryPage
+from .system import DEFAULT_MIN_GLOBAL_SLICE_NS, DEFAULT_SLACK_NS, RTVirtSystem
+
+__all__ = [
+    "RTVirtSystem",
+    "DPWrapScheduler",
+    "RTVirtHypercall",
+    "SharedMemoryPage",
+    "UtilizationAdmission",
+    "SchedRTVirtFlag",
+    "DEFAULT_SLACK_NS",
+    "DEFAULT_MIN_GLOBAL_SLICE_NS",
+]

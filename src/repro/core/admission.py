@@ -1,0 +1,88 @@
+"""Host-level admission control (paper §3.1/§3.3).
+
+DP-WRAP is optimal: any VCPU set whose total bandwidth does not exceed
+the processors' capacity is schedulable.  Host admission is therefore a
+pure utilization test over the *requested* (budget/period) bandwidths —
+no pessimistic compositional analysis, which is precisely where RTVirt's
+bandwidth efficiency in Figure 3 comes from.
+
+A share of the machine can be set aside for non-time-sensitive work
+(paper §3.4's starvation avoidance); admission then tests against the
+remaining capacity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Tuple
+
+from ..guest.vcpu import VCPU
+from ..simcore.errors import ConfigurationError
+
+
+class UtilizationAdmission:
+    """Exact utilization-based admission over VCPU bandwidth requests."""
+
+    def __init__(self, pcpu_count: int, background_reserve: Fraction = Fraction(0)) -> None:
+        if pcpu_count < 1:
+            raise ConfigurationError("need at least one PCPU")
+        if not 0 <= background_reserve < pcpu_count:
+            raise ConfigurationError(
+                f"background reserve {background_reserve} must be in [0, {pcpu_count})"
+            )
+        self.pcpu_count = pcpu_count
+        self.background_reserve = Fraction(background_reserve)
+        self._granted: Dict[int, Fraction] = {}  # vcpu uid -> bandwidth
+
+    @property
+    def capacity(self) -> Fraction:
+        """Bandwidth available to RT VCPUs, in CPUs."""
+        return Fraction(self.pcpu_count) - self.background_reserve
+
+    @property
+    def total_granted(self) -> Fraction:
+        """Currently admitted RT bandwidth, in CPUs."""
+        return sum(self._granted.values(), Fraction(0))
+
+    @property
+    def remaining(self) -> Fraction:
+        return self.capacity - self.total_granted
+
+    def granted(self, vcpu: VCPU) -> Fraction:
+        """Bandwidth currently held by *vcpu* (0 when unknown)."""
+        return self._granted.get(vcpu.uid, Fraction(0))
+
+    def try_commit(self, updates: Iterable[Tuple[VCPU, int, int]]) -> bool:
+        """Atomically test-and-commit a batch of (vcpu, budget, period).
+
+        Each VCPU's bandwidth must fit in one CPU and the new total must
+        fit in the capacity.  On success the grants are recorded and True
+        is returned; on failure nothing changes.
+        """
+        updates = list(updates)
+        new_grants: Dict[int, Fraction] = {}
+        for vcpu, budget_ns, period_ns in updates:
+            if period_ns <= 0 or budget_ns < 0:
+                return False
+            bw = Fraction(budget_ns, period_ns)
+            if bw > 1:
+                return False  # one VCPU cannot exceed one PCPU
+            new_grants[vcpu.uid] = bw
+        total = self.total_granted
+        for uid, bw in new_grants.items():
+            total += bw - self._granted.get(uid, Fraction(0))
+        if total > self.capacity:
+            return False
+        self._granted.update(new_grants)
+        return True
+
+    def commit_decrease(self, updates: Iterable[Tuple[VCPU, int, int]]) -> None:
+        """Apply DEC_BW updates (never rejected)."""
+        for vcpu, budget_ns, period_ns in updates:
+            if period_ns <= 0:
+                raise ConfigurationError(f"{vcpu.name}: invalid period {period_ns}")
+            self._granted[vcpu.uid] = Fraction(budget_ns, period_ns)
+
+    def release(self, vcpu: VCPU) -> None:
+        """Forget *vcpu* entirely (VM teardown)."""
+        self._granted.pop(vcpu.uid, None)

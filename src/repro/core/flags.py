@@ -1,0 +1,21 @@
+"""Flags of the ``sched_rtvirt()`` hypercall (paper §3.2).
+
+- ``INC_BW`` — a new RTA registered or an existing one needs more
+  bandwidth on its current VCPU; carries one VCPU update.
+- ``INC_DEC_BW`` — an RTA moved between VCPUs, so one VCPU's bandwidth
+  rises while the other's falls; carries both updates atomically.
+- ``DEC_BW`` — an RTA reduced its requirement or unregistered; never
+  subject to admission control.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SchedRTVirtFlag(enum.Enum):
+    """Operation selector for the sched_rtvirt() hypercall."""
+
+    INC_BW = "INC_BW"
+    INC_DEC_BW = "INC_DEC_BW"
+    DEC_BW = "DEC_BW"

@@ -1,0 +1,72 @@
+"""The ``sched_rtvirt()`` hypercall — the host side of the cross-layer port.
+
+Guest schedulers call this channel when RTAs register, change their
+requirements, or unregister (paper §3.2).  The host charges the
+hypercall cost (~10 µs measured in the prototype), runs admission
+control over the batch, and on success installs the new VCPU parameters
+and informs the DP-WRAP scheduler, which re-partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..guest.port import CrossLayerPort, ParamUpdate
+from ..guest.vcpu import VCPU
+from ..host.machine import Machine
+from .admission import UtilizationAdmission
+from .flags import SchedRTVirtFlag
+from .shared_memory import SharedMemoryPage
+
+
+class RTVirtHypercall(CrossLayerPort):
+    """Concrete cross-layer port backed by the RTVirt host scheduler."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        scheduler,
+        admission: UtilizationAdmission,
+        shared_memory: SharedMemoryPage,
+    ) -> None:
+        self.machine = machine
+        self.scheduler = scheduler
+        self.admission = admission
+        self.shared_memory = shared_memory
+        #: (flag, granted) log for diagnostics and tests.
+        self.log: List[tuple] = []
+
+    def _charge(self) -> None:
+        self.machine.charge_hypercall(pcpu_index=0)
+
+    def request_increase(self, updates: List[ParamUpdate]) -> bool:
+        """INC_BW / INC_DEC_BW: atomic admission over the batch."""
+        flag = (
+            SchedRTVirtFlag.INC_BW if len(updates) == 1 else SchedRTVirtFlag.INC_DEC_BW
+        )
+        self._charge()
+        if not self.admission.try_commit(updates):
+            self.log.append((flag, False))
+            return False
+        for vcpu, budget_ns, period_ns in updates:
+            vcpu.set_params(budget_ns, period_ns)
+            self.scheduler.update_vcpu(vcpu)
+        self.log.append((flag, True))
+        return True
+
+    def notify_decrease(self, updates: List[ParamUpdate]) -> None:
+        """DEC_BW: apply reduced requirements; never rejected."""
+        self._charge()
+        self.admission.commit_decrease(updates)
+        for vcpu, budget_ns, period_ns in updates:
+            vcpu.set_params(budget_ns, period_ns)
+            self.scheduler.update_vcpu(vcpu)
+        self.log.append((SchedRTVirtFlag.DEC_BW, True))
+
+    def vcpu_added(self, vcpu: VCPU) -> None:
+        """CPU hotplug: the new VCPU becomes visible to the host.
+
+        It carries no bandwidth yet; the INC_BW that follows placement
+        installs its parameters.
+        """
+        self.shared_memory.map_vcpu(vcpu)

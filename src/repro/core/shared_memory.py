@@ -1,0 +1,73 @@
+"""The shared-memory page of the cross-layer interface (paper §3.3).
+
+Each VCPU owns one 8-byte slot in which the guest scheduler publishes
+the *next earliest deadline* among the RTAs on that VCPU.  The host's
+DP-WRAP scheduler reads every slot when it computes the next global
+deadline.  The paper leverages cache coherence so no synchronization is
+needed; here a read simply evaluates the guest-registered provider,
+which yields the same value an eager writer would have stored (the
+sporadic worst-case bound is a function of the current time, so it must
+be evaluated at read time either way).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..guest.vcpu import VCPU
+
+DeadlineProvider = Callable[[int], Optional[int]]
+
+
+class SharedMemoryPage:
+    """Per-VCPU next-earliest-deadline slots shared between guest and host."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, Tuple[VCPU, DeadlineProvider]] = {}
+        self.reads = 0
+
+    def map_vcpu(self, vcpu: VCPU, provider: Optional[DeadlineProvider] = None) -> None:
+        """Install a deadline slot for *vcpu*.
+
+        The default provider is the VCPU's own
+        :meth:`~repro.guest.vcpu.VCPU.next_earliest_deadline`, which is
+        exactly what the modified guest scheduler publishes: the minimum
+        over pending job deadlines and per-task worst-case next deadlines.
+        """
+        self._slots[vcpu.uid] = (vcpu, provider or vcpu.next_earliest_deadline)
+
+    def unmap_vcpu(self, vcpu: VCPU) -> None:
+        """Remove *vcpu*'s slot (VM teardown)."""
+        self._slots.pop(vcpu.uid, None)
+
+    def read(self, vcpu: VCPU, now: int) -> Optional[int]:
+        """Host-side read of one VCPU's published deadline."""
+        entry = self._slots.get(vcpu.uid)
+        if entry is None:
+            return None
+        self.reads += 1
+        return entry[1](now)
+
+    def read_all(self, now: int) -> List[Tuple[VCPU, int]]:
+        """All (vcpu, deadline) pairs with a published deadline, by uid order."""
+        out: List[Tuple[VCPU, int]] = []
+        for uid in sorted(self._slots):
+            vcpu, provider = self._slots[uid]
+            deadline = provider(now)
+            self.reads += 1
+            if deadline is not None:
+                out.append((vcpu, deadline))
+        return out
+
+    def earliest(self, now: int) -> Optional[int]:
+        """The minimum published deadline — the next global deadline input."""
+        deadlines = [d for _, d in self.read_all(now)]
+        return min(deadlines) if deadlines else None
+
+    @property
+    def size_bytes(self) -> int:
+        """Shared-memory footprint: 8 bytes per VCPU (paper §4.5)."""
+        return 8 * len(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)

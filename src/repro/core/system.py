@@ -1,0 +1,101 @@
+"""The RTVirt system facade — the package's primary public API.
+
+Wires together the machine model, the DP-WRAP host scheduler, the
+utilization admission controller, the shared-memory page and the
+hypercall ports, so an experiment reads like the paper's setup:
+
+    system = RTVirtSystem(pcpu_count=4)
+    vm = system.create_vm("vm1")
+    task = sched_setattr(vm, "rta1", runtime_ns=msec(5), period_ns=msec(20))
+    PeriodicDriver(system.engine, vm, task).start()
+    system.run(sec(10))
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from ..guest.vm import VM
+from ..host.base_system import BaseSystem
+from ..host.costs import DEFAULT_COSTS, CostModel
+from ..simcore.engine import Engine
+from ..simcore.time import MSEC, USEC
+from ..simcore.trace import Trace
+from .admission import UtilizationAdmission
+from .dpwrap import DPWrapScheduler
+from .hypercall import RTVirtHypercall
+from .shared_memory import SharedMemoryPage
+
+#: The slack the paper adds to every VCPU's budget (§4.1).
+DEFAULT_SLACK_NS = 500 * USEC
+#: The paper's lower bound on the global slice (§4.1).
+DEFAULT_MIN_GLOBAL_SLICE_NS = 250 * USEC
+
+
+class RTVirtSystem(BaseSystem):
+    """A complete RTVirt host: machine + DP-WRAP + cross-layer interface."""
+
+    def __init__(
+        self,
+        pcpu_count: int,
+        engine: Optional[Engine] = None,
+        cost_model: CostModel = DEFAULT_COSTS,
+        slack_ns: int = DEFAULT_SLACK_NS,
+        min_global_slice_ns: int = DEFAULT_MIN_GLOBAL_SLICE_NS,
+        idle_slice_ns: int = 10 * MSEC,
+        background_reserve: Fraction = Fraction(0),
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(pcpu_count, engine, cost_model, trace)
+        self.shared_memory = SharedMemoryPage()
+        self.scheduler = DPWrapScheduler(
+            self.shared_memory,
+            min_global_slice_ns=min_global_slice_ns,
+            idle_slice_ns=idle_slice_ns,
+        )
+        self.machine.set_host_scheduler(self.scheduler)
+        self.admission = UtilizationAdmission(pcpu_count, background_reserve)
+        self.default_slack_ns = slack_ns
+
+    # -- VM management -------------------------------------------------------------
+
+    def create_vm(
+        self,
+        name: str,
+        vcpu_count: int = 1,
+        scheduler: str = "pedf",
+        slack_ns: Optional[int] = None,
+        max_vcpus: Optional[int] = None,
+    ) -> VM:
+        """Create an RTA-hosting VM wired to the cross-layer interface."""
+        vm = VM(
+            name,
+            vcpu_count=vcpu_count,
+            scheduler=scheduler,
+            slack_ns=self.default_slack_ns if slack_ns is None else slack_ns,
+            max_vcpus=max_vcpus,
+        )
+        vm.set_port(
+            RTVirtHypercall(self.machine, self.scheduler, self.admission, self.shared_memory)
+        )
+        return self._attach(vm)
+
+    def create_background_vm(self, name: str, processes: int = 1) -> VM:
+        """Create a VM running CPU-bound non-RTA processes.
+
+        Its VCPU receives only leftover bandwidth (paper §3.4).
+        """
+        vm = VM(name, vcpu_count=1, slack_ns=0)
+        self._attach(vm)
+        for _ in range(processes):
+            vm.add_background_process()
+        self.scheduler.add_background_vcpu(vm.vcpus[0])
+        return vm
+
+    # -- reporting ---------------------------------------------------------------------
+
+    @property
+    def total_rt_bandwidth(self) -> Fraction:
+        """Currently admitted RT bandwidth in CPUs."""
+        return self.admission.total_granted

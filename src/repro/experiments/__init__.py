@@ -1,0 +1,29 @@
+"""Experiment harnesses — one module per table/figure of the paper."""
+
+from . import (
+    fig1_motivation,
+    fig3_bandwidth,
+    fig4_dynamic,
+    fig5_memcached,
+    registry,
+    sporadic_rtas,
+    table1_periodic,
+    table2_config,
+    table4_dedicated,
+    table6_overhead,
+)
+from .common import format_table
+
+__all__ = [
+    "fig1_motivation",
+    "table1_periodic",
+    "table2_config",
+    "fig3_bandwidth",
+    "sporadic_rtas",
+    "fig4_dynamic",
+    "table4_dedicated",
+    "fig5_memcached",
+    "table6_overhead",
+    "registry",
+    "format_table",
+]

@@ -1,0 +1,41 @@
+"""Shared helpers for the experiment harnesses.
+
+Every experiment module exposes a ``run_*`` function returning a result
+dataclass with a ``rows()`` method (list of dicts — one per table row or
+figure series point) and a ``summary()`` string; the benchmarks and the
+EXPERIMENTS.md generator consume both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render rows as a fixed-width text table (the bench output format)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[_cell(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percent string."""
+    return f"{100.0 * value:.3f}%"

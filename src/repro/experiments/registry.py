@@ -1,0 +1,124 @@
+"""Index of every reproduced table and figure.
+
+Maps each experiment id to its runner, so the EXPERIMENTS.md generator,
+the benchmarks and ad-hoc exploration all share one catalogue:
+
+    from repro.experiments import registry
+    result = registry.run("fig3")
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..simcore.time import sec
+from . import (
+    fig1_motivation,
+    fig3_bandwidth,
+    fig4_dynamic,
+    fig5_memcached,
+    sporadic_rtas,
+    table1_periodic,
+    table2_config,
+    table4_dedicated,
+    table6_overhead,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One table/figure of the paper's evaluation."""
+
+    experiment_id: str
+    paper_ref: str
+    description: str
+    runner: Callable[[], object]
+
+
+def _fig1():
+    results = fig1_motivation.run_fig1()
+    # Combine both halves into one printable result.
+    class _Combined:
+        def summary(self) -> str:
+            return "\n\n".join(r.summary() for r in results.values())
+
+        def rows(self) -> List[dict]:
+            return [row for r in results.values() for row in r.rows()]
+
+    return _Combined()
+
+
+REGISTRY: Dict[str, ExperimentEntry] = {
+    "fig1": ExperimentEntry(
+        "fig1",
+        "Figure 1",
+        "Motivation: uncoordinated two-level EDF misses RTA deadlines; RTVirt does not",
+        _fig1,
+    ),
+    "table1": ExperimentEntry(
+        "table1",
+        "Table 1 / §4.2",
+        "Periodic RTA groups: all deadlines met under RTVirt and RT-Xen",
+        lambda: table1_periodic.run_table1(duration_ns=sec(20)),
+    ),
+    "table2": ExperimentEntry(
+        "table2",
+        "Table 2",
+        "NH-Dec VM configurations under CSA (RT-Xen) and slack derivation (RTVirt)",
+        table2_config.run_table2,
+    ),
+    "fig3": ExperimentEntry(
+        "fig3",
+        "Figure 3",
+        "CPU bandwidth requirement per group: required / allocated / claimed / RTVirt",
+        fig3_bandwidth.run_fig3,
+    ),
+    "sporadic": ExperimentEntry(
+        "sporadic",
+        "§4.2 sporadic",
+        "Sporadic RTAs: 100 externally triggered requests per RTA, no misses",
+        lambda: sporadic_rtas.run_sporadic(requests_per_rta=30),
+    ),
+    "fig4": ExperimentEntry(
+        "fig4",
+        "Figure 4 / Table 3",
+        "Dynamic video-streaming RTAs with online admission",
+        lambda: fig4_dynamic.run_fig4(duration_ns=sec(120)),
+    ),
+    "table4": ExperimentEntry(
+        "table4",
+        "Table 4",
+        "memcached latency tail on a dedicated CPU per scheduler",
+        lambda: table4_dedicated.run_table4(duration_ns=sec(40)),
+    ),
+    "fig5a": ExperimentEntry(
+        "fig5a",
+        "Figure 5a",
+        "memcached vs 19 non-RTA VMs on 2 PCPUs (SLO 500 µs p99.9)",
+        lambda: fig5_memcached.run_fig5a(duration_ns=sec(40)),
+    ),
+    "fig5b": ExperimentEntry(
+        "fig5b",
+        "Figure 5b",
+        "5 memcached VMs + 10 video VMs on 15 PCPUs (SLO 500 µs p99.9)",
+        lambda: fig5_memcached.run_fig5b(duration_ns=sec(20)),
+    ),
+    "table6": ExperimentEntry(
+        "table6",
+        "Tables 5-6 / §4.5",
+        "Scalability: 100 RTAs, overhead of schedule() and context switches",
+        lambda: table6_overhead.run_table6(duration_ns=sec(5)),
+    ),
+}
+
+
+def run(experiment_id: str):
+    """Run one experiment by id and return its result object."""
+    return REGISTRY[experiment_id].runner()
+
+
+def all_ids() -> List[str]:
+    """All experiment ids in paper order."""
+    return list(REGISTRY)

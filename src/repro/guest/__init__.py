@@ -1,0 +1,38 @@
+"""Guest OS model: tasks, VCPUs, guest schedulers, the VM abstraction."""
+
+from .gedf import GEDFGuestScheduler
+from .params import VCPUParams, derive_vcpu_params, fits_on_vcpu
+from .pedf import PEDFGuestScheduler
+from .port import CrossLayerPort, LocalPort, ParamUpdate
+from .syscall import (
+    nr_vcpus,
+    sched_adjust,
+    sched_getattr,
+    sched_setattr,
+    sched_unregister,
+)
+from .task import Job, Task, TaskKind, make_background_task
+from .vcpu import VCPU
+from .vm import VM
+
+__all__ = [
+    "Job",
+    "Task",
+    "TaskKind",
+    "make_background_task",
+    "VCPU",
+    "VM",
+    "VCPUParams",
+    "derive_vcpu_params",
+    "fits_on_vcpu",
+    "PEDFGuestScheduler",
+    "GEDFGuestScheduler",
+    "CrossLayerPort",
+    "LocalPort",
+    "ParamUpdate",
+    "sched_setattr",
+    "sched_adjust",
+    "sched_unregister",
+    "sched_getattr",
+    "nr_vcpus",
+]

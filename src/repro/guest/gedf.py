@@ -1,0 +1,75 @@
+"""Global-EDF guest scheduler (ablation; paper §3.2 argues against it).
+
+The paper keeps Linux's SCHED_DEADLINE *global* EDF only as a strawman:
+gEDF lets jobs migrate between VCPUs, which complicates deriving the
+VCPU parameters and adds migration overhead.  We implement it so the
+pEDF-vs-gEDF design choice can be measured (``bench_ablation_guest_sched``).
+
+Placement still pins tasks for bandwidth accounting (the host interface
+needs per-VCPU parameters either way), but dispatch is global: a VCPU
+with no local work claims the earliest-deadline unclaimed job anywhere
+in the VM.  Claims prevent two VCPUs from running one job concurrently;
+the machine model releases a VCPU's claim whenever it loses its PCPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .pedf import PEDFGuestScheduler
+from .task import Job, TaskKind
+from .vcpu import VCPU
+
+
+class GEDFGuestScheduler(PEDFGuestScheduler):
+    """pEDF admission/placement with global (migrating) EDF dispatch."""
+
+    name = "gEDF"
+
+    def __init__(self, vm, slack_ns: int = 0) -> None:
+        super().__init__(vm, slack_ns)
+        self._claims: Dict[int, Job] = {}  # vcpu uid -> claimed job
+        self.migrations = 0
+
+    def _claimed_elsewhere(self, job: Job, vcpu: VCPU) -> bool:
+        for uid, claimed in self._claims.items():
+            if claimed is job and uid != vcpu.uid:
+                return True
+        return False
+
+    def pick_job(self, vcpu: VCPU, now: int) -> Optional[Job]:
+        """Earliest-deadline unclaimed job across the whole VM."""
+        best: Optional[Job] = None
+        best_key = None
+        for task in self.vm.tasks:
+            job = task.head_job()
+            if job is None or job.done:
+                continue
+            if self._claimed_elsewhere(job, vcpu):
+                continue
+            key = (
+                0 if job.deadline is not None else 1,
+                job.deadline if job.deadline is not None else 0,
+                task.seq,
+                job.index,
+            )
+            if best_key is None or key < best_key:
+                best = job
+                best_key = key
+        previous = self._claims.get(vcpu.uid)
+        if best is None:
+            self._claims.pop(vcpu.uid, None)
+        else:
+            self._claims[vcpu.uid] = best
+            if (
+                previous is not best
+                and best.task.kind is not TaskKind.BACKGROUND
+                and best.task.vcpu is not None
+                and best.task.vcpu is not vcpu
+            ):
+                self.migrations += 1
+        return best
+
+    def on_vcpu_descheduled(self, vcpu: VCPU) -> None:
+        """Release the claim so siblings can pick the job up (migration)."""
+        self._claims.pop(vcpu.uid, None)

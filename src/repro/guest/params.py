@@ -1,0 +1,89 @@
+"""Deriving host-visible VCPU parameters from the RTAs pinned to a VCPU.
+
+Paper §3.3: *"Each VCPU is configured with a budget and period according
+to the slice and period parameters of its RTAs: the budget is derived
+using the sum of the bandwidths of all the RTAs, and the period is
+decided by the smallest period among the RTAs' periods.  In practice,
+the budget of the VCPU should be set slightly higher (e.g., 500µs more
+in our evaluation) than what the RTAs need in order to compensate for
+scheduling overhead of both the guest and VMM levels."*
+
+This module implements exactly that derivation.  It lives in the guest
+package because, in the paper's architecture, the *guest-level*
+scheduler computes these parameters and pushes them to the host through
+the ``sched_rtvirt()`` hypercall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Optional, Sequence
+
+from ..simcore.errors import ConfigurationError
+from .task import Task, TaskKind
+
+
+@dataclass(frozen=True)
+class VCPUParams:
+    """A host-visible (budget, period) reservation."""
+
+    budget_ns: int
+    period_ns: int
+
+    @property
+    def bandwidth(self) -> Fraction:
+        return Fraction(self.budget_ns, self.period_ns)
+
+    def feasible(self) -> bool:
+        """A single VCPU cannot use more than one physical CPU."""
+        return 0 <= self.budget_ns <= self.period_ns
+
+
+def derive_vcpu_params(
+    tasks: Sequence[Task],
+    slack_ns: int = 0,
+    extra: Optional[Iterable[Fraction]] = None,
+) -> VCPUParams:
+    """Compute the VCPU (budget, period) for a set of pinned RTAs.
+
+    *extra* optionally adds bandwidths of tasks not yet in *tasks* (used
+    when testing whether a candidate placement would fit).  The budget is
+    rounded up to whole nanoseconds, then the slack is added.
+    """
+    rt = [t for t in tasks if t.kind is not TaskKind.BACKGROUND]
+    if not rt and not extra:
+        raise ConfigurationError("cannot derive VCPU params without RT tasks")
+    if slack_ns < 0:
+        raise ConfigurationError(f"negative slack {slack_ns}")
+    bw = sum((t.bandwidth for t in rt), Fraction(0))
+    periods = [t.period_ns for t in rt]
+    if extra is not None:
+        for b in extra:
+            bw += b
+    if not periods:
+        raise ConfigurationError("extra bandwidth requires at least one period source")
+    period = min(periods)
+    budget = math.ceil(bw * period) + slack_ns
+    return VCPUParams(budget_ns=budget, period_ns=period)
+
+
+def fits_on_vcpu(
+    tasks: Sequence[Task],
+    candidate: Task,
+    slack_ns: int = 0,
+) -> bool:
+    """Would *candidate* plus the existing *tasks* still fit in one CPU?
+
+    A VCPU is feasible when the derived budget does not exceed the derived
+    period (bandwidth plus slack ratio <= 1); additionally the guest-level
+    EDF admission requires the raw task bandwidth sum <= 1.
+    """
+    rt = [t for t in tasks if t.kind is not TaskKind.BACKGROUND]
+    bw = sum((t.bandwidth for t in rt), Fraction(0)) + candidate.bandwidth
+    if bw > 1:
+        return False
+    period = min([t.period_ns for t in rt] + [candidate.period_ns])
+    budget = math.ceil(bw * period) + slack_ns
+    return budget <= period

@@ -1,0 +1,84 @@
+"""The guest side of the cross-layer interface.
+
+A :class:`CrossLayerPort` is what a guest scheduler talks to when it
+needs host-level bandwidth decisions.  Under RTVirt this is backed by
+the ``sched_rtvirt()`` hypercall plus the shared-memory page
+(:mod:`repro.core.hypercall`); for the baseline systems (RT-Xen, Credit)
+it is a :class:`LocalPort` that grants everything, because those systems
+configure VM bandwidth offline and have no online cross-layer channel —
+which is precisely the limitation the paper's motivation describes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+from .vcpu import VCPU
+
+#: A requested parameter change for one VCPU: (vcpu, budget_ns, period_ns).
+ParamUpdate = Tuple[VCPU, int, int]
+
+
+class CrossLayerPort(abc.ABC):
+    """Guest-to-host channel for bandwidth requests."""
+
+    @abc.abstractmethod
+    def request_increase(self, updates: List[ParamUpdate]) -> bool:
+        """INC_BW / INC_DEC_BW: ask the host to commit *updates*.
+
+        The host runs admission control over the whole batch atomically.
+        Returns True and applies the parameters on success; returns False
+        and changes nothing on rejection.
+        """
+
+    @abc.abstractmethod
+    def notify_decrease(self, updates: List[ParamUpdate]) -> None:
+        """DEC_BW: inform the host of reduced requirements.
+
+        Decreases never fail admission; the host applies them directly.
+        """
+
+    @abc.abstractmethod
+    def vcpu_added(self, vcpu: VCPU) -> None:
+        """A CPU-hotplug event added *vcpu* to the VM."""
+
+
+class StaticPort(CrossLayerPort):
+    """Grant-all port that never touches VCPU parameters.
+
+    Used by RT-Xen VMs: their VCPU servers are fixed offline by CSA, so
+    guest-level registration must not renegotiate the host interface.
+    """
+
+    def request_increase(self, updates: List[ParamUpdate]) -> bool:
+        return True
+
+    def notify_decrease(self, updates: List[ParamUpdate]) -> None:
+        return None
+
+    def vcpu_added(self, vcpu: VCPU) -> None:
+        return None
+
+
+class LocalPort(CrossLayerPort):
+    """Accept-all port used when no cross-layer channel exists.
+
+    Applies parameter updates to the VCPUs locally so that guest-side
+    bookkeeping stays consistent, but performs no host admission — the
+    host scheduler for baseline systems uses statically configured
+    parameters instead.
+    """
+
+    def request_increase(self, updates: List[ParamUpdate]) -> bool:
+        for vcpu, budget_ns, period_ns in updates:
+            vcpu.set_params(budget_ns, period_ns)
+            vcpu.admitted = True
+        return True
+
+    def notify_decrease(self, updates: List[ParamUpdate]) -> None:
+        for vcpu, budget_ns, period_ns in updates:
+            vcpu.set_params(budget_ns, period_ns)
+
+    def vcpu_added(self, vcpu: VCPU) -> None:
+        vcpu.admitted = True

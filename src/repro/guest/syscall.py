@@ -1,0 +1,69 @@
+"""Linux-flavoured system-call veneer.
+
+The paper stresses that applications need no modification: they use the
+existing ``sched_setattr()`` system call, whose implementation RTVirt
+extends.  This module mirrors that surface so example code reads like
+the user-space programs in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .task import Task, TaskKind
+from .vcpu import VCPU
+from .vm import VM
+
+
+def sched_setattr(
+    vm: VM,
+    name: str,
+    runtime_ns: int,
+    period_ns: int,
+    sporadic: bool = False,
+) -> Task:
+    """Register a new RTA with SCHED_DEADLINE-style attributes.
+
+    ``runtime_ns``/``period_ns`` follow ``struct sched_attr`` naming
+    (runtime = the paper's slice; deadline = period in the implicit-
+    deadline model the paper uses).  Returns the registered task.
+    """
+    kind = TaskKind.SPORADIC if sporadic else TaskKind.PERIODIC
+    task = Task(name, runtime_ns, period_ns, kind)
+    vm.register_task(task)
+    return task
+
+
+def sched_adjust(vm: VM, task: Task, runtime_ns: int, period_ns: int) -> VCPU:
+    """Modify an RTA's attributes (the dynamic-requirement path)."""
+    return vm.adjust_task(task, runtime_ns, period_ns)
+
+
+def sched_unregister(vm: VM, task: Task) -> None:
+    """Drop an RTA back to non-time-sensitive scheduling."""
+    vm.unregister_task(task)
+
+
+def sched_getattr(task: Task) -> dict:
+    """Inspect a task's current attributes and placement."""
+    return {
+        "runtime_ns": task.slice_ns,
+        "period_ns": task.period_ns,
+        "kind": task.kind.value,
+        "vcpu": task.vcpu.name if task.vcpu is not None else None,
+        "bandwidth": float(task.bandwidth),
+    }
+
+
+def nr_vcpus(vm: VM) -> int:
+    """Number of online VCPUs (grows under CPU hotplug)."""
+    return len(vm.vcpus)
+
+
+__all__ = [
+    "sched_setattr",
+    "sched_adjust",
+    "sched_unregister",
+    "sched_getattr",
+    "nr_vcpus",
+]

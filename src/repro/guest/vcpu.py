@@ -1,0 +1,140 @@
+"""Virtual CPUs.
+
+A VCPU is the unit the host scheduler reasons about.  It carries:
+
+- the set of guest tasks currently pinned to it (pEDF pins tasks),
+- host-visible scheduling parameters (budget, period — i.e. bandwidth),
+- the local EDF dispatch logic that chooses which pending job runs when
+  the host gives this VCPU physical CPU time.
+
+The host never looks inside the task list; under RTVirt it sees only the
+parameters and the next-earliest-deadline word the guest publishes via
+shared memory, which is the paper's minimal-information-sharing design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import List, Optional
+
+from ..simcore.errors import ConfigurationError
+from .task import Job, Task, TaskKind
+
+
+class VCPU:
+    """One virtual CPU of a VM."""
+
+    _ids = itertools.count()
+
+    def __init__(self, vm, index: int) -> None:
+        self.vm = vm
+        self.index = index
+        self.uid = next(VCPU._ids)
+        self.name = f"{vm.name}.vcpu{index}"
+        self.tasks: List[Task] = []
+        # Host-visible reservation parameters (set via the cross-layer
+        # interface under RTVirt, or statically for the baselines).
+        self.budget_ns: int = 0
+        self.period_ns: int = 0
+        #: True once the host scheduler has admitted this VCPU.
+        self.admitted = False
+
+    # -- host-visible parameters --------------------------------------------
+
+    @property
+    def bandwidth(self) -> Fraction:
+        """Reserved bandwidth budget/period (0 when unconfigured)."""
+        if self.period_ns <= 0:
+            return Fraction(0)
+        return Fraction(self.budget_ns, self.period_ns)
+
+    def set_params(self, budget_ns: int, period_ns: int) -> None:
+        """Set the host-visible (budget, period) reservation."""
+        if budget_ns < 0 or period_ns <= 0:
+            raise ConfigurationError(
+                f"{self.name}: invalid params budget={budget_ns} period={period_ns}"
+            )
+        self.budget_ns = budget_ns
+        self.period_ns = period_ns
+
+    # -- task management ------------------------------------------------------
+
+    def pin_task(self, task: Task) -> None:
+        """Pin *task* to this VCPU (pEDF placement)."""
+        if task.vcpu is not None:
+            task.vcpu.unpin_task(task)
+        task.vcpu = self
+        self.tasks.append(task)
+
+    def unpin_task(self, task: Task) -> None:
+        """Remove *task* from this VCPU."""
+        self.tasks.remove(task)
+        task.vcpu = None
+
+    def rt_tasks(self) -> List[Task]:
+        """Pinned tasks that have deadlines (periodic or sporadic)."""
+        return [t for t in self.tasks if t.kind is not TaskKind.BACKGROUND]
+
+    def rt_bandwidth(self) -> Fraction:
+        """Sum of pinned real-time tasks' required bandwidths."""
+        return sum((t.bandwidth for t in self.rt_tasks()), Fraction(0))
+
+    # -- dispatch --------------------------------------------------------------
+
+    def pick_job(self, now: int) -> Optional[Job]:
+        """EDF dispatch: the pending job with the earliest deadline.
+
+        Jobs without deadlines (background) run only when no deadline job
+        is pending.  Ties break on task registration order then job index,
+        keeping the simulation deterministic.
+        """
+        best: Optional[Job] = None
+        best_key = None
+        for task in self.tasks:
+            job = task.head_job()
+            if job is None:
+                continue
+            key = (
+                0 if job.deadline is not None else 1,
+                job.deadline if job.deadline is not None else 0,
+                task.seq,
+                job.index,
+            )
+            if best_key is None or key < best_key:
+                best = job
+                best_key = key
+        return best
+
+    @property
+    def has_work(self) -> bool:
+        """True when any pinned task has a pending job."""
+        return any(t.has_work for t in self.tasks)
+
+    @property
+    def has_rt_work(self) -> bool:
+        """True when a deadline-bearing job is pending."""
+        return any(t.has_work for t in self.rt_tasks())
+
+    # -- cross-layer information ------------------------------------------------
+
+    def next_earliest_deadline(self, now: int) -> Optional[int]:
+        """The value the guest publishes to the host via shared memory.
+
+        The minimum over (a) deadlines of already-released jobs and
+        (b) the worst-case earliest deadline of each task's next job
+        (paper §3.3: exact for periodic tasks, the minimum-inter-arrival
+        bound for sporadic tasks).  None when no RT task is pinned.
+        """
+        candidates: List[int] = []
+        for task in self.rt_tasks():
+            pending = task.earliest_pending_deadline()
+            if pending is not None:
+                candidates.append(pending)
+            upcoming = task.next_worst_case_deadline(now)
+            if upcoming is not None:
+                candidates.append(upcoming)
+        return min(candidates) if candidates else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VCPU {self.name} bw={self.bandwidth} tasks={len(self.tasks)}>"

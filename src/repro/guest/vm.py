@@ -1,0 +1,185 @@
+"""The virtual machine model.
+
+A VM bundles VCPUs, a guest scheduler, its tasks, and the cross-layer
+port through which the guest scheduler negotiates bandwidth with the
+host.  Workload drivers interact with the VM through the system-call
+surface (:meth:`register_task`, :meth:`adjust_task`,
+:meth:`unregister_task`, :meth:`release_job`) — applications in the
+paper use unmodified ``sched_setattr()``; these methods are that
+interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..simcore.errors import ConfigurationError
+from .gedf import GEDFGuestScheduler
+from .pedf import PEDFGuestScheduler
+from .port import CrossLayerPort, LocalPort
+from .task import Job, Task, TaskKind, make_background_task
+from .vcpu import VCPU
+
+_SCHEDULERS = {
+    "pedf": PEDFGuestScheduler,
+    "gedf": GEDFGuestScheduler,
+}
+
+
+class VM:
+    """A guest virtual machine."""
+
+    def __init__(
+        self,
+        name: str,
+        vcpu_count: int = 1,
+        scheduler: str = "pedf",
+        slack_ns: int = 0,
+        max_vcpus: Optional[int] = None,
+    ) -> None:
+        if vcpu_count < 1:
+            raise ConfigurationError(f"VM {name} needs at least one VCPU")
+        self.name = name
+        self.vcpus: List[VCPU] = [VCPU(self, i) for i in range(vcpu_count)]
+        self.max_vcpus = max_vcpus if max_vcpus is not None else vcpu_count
+        if self.max_vcpus < vcpu_count:
+            raise ConfigurationError(f"VM {name}: max_vcpus below initial count")
+        if scheduler not in _SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown guest scheduler {scheduler!r}; choose from {sorted(_SCHEDULERS)}"
+            )
+        self.guest_scheduler = _SCHEDULERS[scheduler](self, slack_ns)
+        self.tasks: List[Task] = []
+        self.port: CrossLayerPort = LocalPort()
+        self.machine = None  # set when the VM is attached to a Machine
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_port(self, port: CrossLayerPort) -> None:
+        """Install the cross-layer channel (done by the RTVirt system)."""
+        self.port = port
+
+    def configure_vcpu(self, index: int, budget_ns: int, period_ns: int) -> None:
+        """Statically set a VCPU's host-visible parameters.
+
+        Baseline systems (RT-Xen via CSA, Credit via weights) configure
+        VCPU servers offline; this is that path.  Under RTVirt parameters
+        normally flow through the hypercall instead.
+        """
+        self.vcpus[index].set_params(budget_ns, period_ns)
+        self.vcpus[index].admitted = True
+
+    @property
+    def background_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.kind is TaskKind.BACKGROUND]
+
+    @property
+    def rt_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.kind is not TaskKind.BACKGROUND]
+
+    # -- system-call surface (paper Fig. 2: register / adjust / unregister) -----
+
+    def register_task(self, task: Task) -> VCPU:
+        """Register an RTA (the ``sched_setattr()`` path).
+
+        Runs guest admission, the cross-layer bandwidth request, and the
+        pEDF placement.  Raises :class:`AdmissionError` on rejection.
+        """
+        if task.vm is not None:
+            raise ConfigurationError(f"task {task.name} already belongs to a VM")
+        vcpu = self.guest_scheduler.register(task)
+        task.vm = self
+        self.tasks.append(task)
+        return vcpu
+
+    def adjust_task(self, task: Task, slice_ns: int, period_ns: int) -> VCPU:
+        """Change a registered RTA's timeliness requirement."""
+        if task.vm is not self:
+            raise ConfigurationError(f"task {task.name} is not registered with {self.name}")
+        return self.guest_scheduler.adjust(task, slice_ns, period_ns)
+
+    def unregister_task(self, task: Task) -> None:
+        """Unregister an RTA and release its bandwidth."""
+        if task.vm is not self:
+            raise ConfigurationError(f"task {task.name} is not registered with {self.name}")
+        self.guest_scheduler.unregister(task)
+        self.tasks.remove(task)
+        task.vm = None
+
+    def add_background_process(self, name: Optional[str] = None) -> Task:
+        """Create and register a CPU-bound non-RTA process.
+
+        Its (single, endless) job is released immediately if the VM is
+        already attached to a machine, else on attach.
+        """
+        task = make_background_task(name or f"{self.name}.bg{len(self.background_tasks)}")
+        self.guest_scheduler.register(task)
+        task.vm = self
+        self.tasks.append(task)
+        now = self.machine.engine.now if self.machine is not None else 0
+        self.release_job(task, now=now)
+        return task
+
+    # -- job arrival (workload drivers call this) ----------------------------------
+
+    def release_job(
+        self,
+        task: Task,
+        now: Optional[int] = None,
+        work: Optional[int] = None,
+        relative_deadline: Optional[int] = None,
+        on_complete: Optional[Callable[[Job], None]] = None,
+    ) -> Job:
+        """Release a job of *task* and notify the host of the wake-up."""
+        if task.vm is not self:
+            raise ConfigurationError(f"task {task.name} is not registered with {self.name}")
+        if now is None:
+            if self.machine is None:
+                raise ConfigurationError("release_job() needs `now` before attach")
+            now = self.machine.engine.now
+        job = task.release_job(now, work, relative_deadline, on_complete)
+        if self.machine is not None:
+            for vcpu in self.wake_targets(task):
+                self.machine.notify_wake(vcpu)
+        return job
+
+    def wake_targets(self, task: Task) -> List[VCPU]:
+        """VCPUs that may run *task*'s new job (pEDF: its pin; gEDF: all)."""
+        if isinstance(self.guest_scheduler, GEDFGuestScheduler):
+            return list(self.vcpus)
+        return [task.vcpu] if task.vcpu is not None else []
+
+    # -- dispatch hooks used by the machine ---------------------------------------
+
+    def pick_job(self, vcpu: VCPU, now: int) -> Optional[Job]:
+        return self.guest_scheduler.pick_job(vcpu, now)
+
+    def vcpu_has_work(self, vcpu: VCPU) -> bool:
+        """Whether *vcpu* could execute something right now."""
+        if isinstance(self.guest_scheduler, GEDFGuestScheduler):
+            return any(t.has_work for t in self.tasks)
+        return vcpu.has_work
+
+    def on_vcpu_descheduled(self, vcpu: VCPU) -> None:
+        self.guest_scheduler.on_vcpu_descheduled(vcpu)
+
+    # -- hotplug -------------------------------------------------------------------
+
+    def hotplug_vcpu(self) -> Optional[VCPU]:
+        """Add a VCPU online (paper §3.2); None when at the limit."""
+        if len(self.vcpus) >= self.max_vcpus:
+            return None
+        vcpu = VCPU(self, len(self.vcpus))
+        self.vcpus.append(vcpu)
+        self.port.vcpu_added(vcpu)
+        return vcpu
+
+    # -- end-of-run accounting -------------------------------------------------------
+
+    def finalize(self, end_time: int) -> None:
+        """Account unfinished jobs at the end of a run."""
+        for task in self.tasks:
+            task.finalize(end_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VM {self.name} vcpus={len(self.vcpus)} tasks={len(self.tasks)}>"

@@ -1,0 +1,20 @@
+"""Physical host model: PCPUs, cost model, machine driver, host schedulers."""
+
+from .base_system import BaseSystem
+from .costs import DEFAULT_COSTS, ZERO_COSTS, CostModel
+from .edf import EDFHostScheduler, PartitionedEDFHostScheduler
+from .machine import Machine
+from .pcpu import PCPU
+from .scheduler import HostScheduler
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "ZERO_COSTS",
+    "PCPU",
+    "Machine",
+    "BaseSystem",
+    "HostScheduler",
+    "EDFHostScheduler",
+    "PartitionedEDFHostScheduler",
+]

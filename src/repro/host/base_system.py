@@ -1,0 +1,63 @@
+"""Shared plumbing for complete simulated systems.
+
+``RTVirtSystem``, ``RTXenSystem`` and ``CreditSystem`` all wrap a
+machine, an engine and a set of VMs; this base class holds the common
+lifecycle and reporting so each system only describes its scheduler
+wiring.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..guest.vm import VM
+from ..metrics.deadlines import MissReport, collect_miss_report
+from ..simcore.engine import Engine
+from ..simcore.trace import Trace
+from .costs import DEFAULT_COSTS, CostModel
+from .machine import Machine
+
+
+class BaseSystem:
+    """A machine plus VM bookkeeping and run/report helpers."""
+
+    def __init__(
+        self,
+        pcpu_count: int,
+        engine: Optional[Engine] = None,
+        cost_model: CostModel = DEFAULT_COSTS,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else Engine()
+        self.machine = Machine(self.engine, pcpu_count, cost_model, trace)
+        self.vms: List[VM] = []
+
+    def _attach(self, vm: VM) -> VM:
+        self.machine.attach_vm(vm)
+        self.vms.append(vm)
+        return vm
+
+    # -- run ------------------------------------------------------------------
+
+    def run(self, duration_ns: int) -> None:
+        """Run the simulation for *duration_ns* from the current time."""
+        self.machine.run(self.engine.now + duration_ns)
+
+    def run_until(self, time_ns: int) -> None:
+        """Run the simulation up to the absolute time *time_ns*."""
+        self.machine.run(time_ns)
+
+    def finalize(self) -> None:
+        """Close out end-of-run accounting (unfinished jobs, syncs)."""
+        self.machine.finalize()
+
+    # -- reporting ----------------------------------------------------------------
+
+    def miss_report(self) -> MissReport:
+        """Deadline outcomes over every RT task in every VM."""
+        tasks = [t for vm in self.vms for t in vm.rt_tasks]
+        return collect_miss_report(tasks)
+
+    def overhead_percent(self) -> float:
+        """Accounted scheduler overhead as a percent of total CPU time."""
+        return self.machine.metrics.overhead.overhead_percent(self.machine.total_cpu_time())

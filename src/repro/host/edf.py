@@ -1,0 +1,292 @@
+"""Host-level (global) EDF scheduler with deferrable-server VCPUs.
+
+Each RT VCPU is a *deferrable server* with a (budget, period) interface:
+the budget is replenished to its full value at every period boundary,
+the server's deadline is the end of the current period, and unused
+budget is retained while the VCPU idles (but never carried across a
+replenishment).  Among servers with budget and runnable work, the m
+earliest deadlines run on the m PCPUs.
+
+Two systems in the paper use exactly this scheduler:
+
+- the **motivating example** (Figure 1): VMs scheduled by EDF according
+  to their (slice, period), with no cross-layer information; and
+- **RT-Xen 2.0's best configuration** (§4.1): gEDF with deferrable
+  server at the host level, with the interfaces computed offline by CSA.
+
+PCPUs not needed by RT servers run background VCPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..guest.vcpu import VCPU
+from ..simcore.errors import ConfigurationError, SchedulingError
+from ..simcore.events import PRIORITY_BUDGET, PRIORITY_SCHEDULE, Event
+from .scheduler import HostScheduler
+
+
+class _Server:
+    """Deferrable-server state for one RT VCPU."""
+
+    __slots__ = ("vcpu", "budget", "period", "remaining", "deadline", "replenish_event", "exhaust_event")
+
+    def __init__(self, vcpu: VCPU, budget: int, period: int) -> None:
+        self.vcpu = vcpu
+        self.budget = budget
+        self.period = period
+        self.remaining = 0
+        self.deadline = 0
+        self.replenish_event: Optional[Event] = None
+        self.exhaust_event: Optional[Event] = None
+
+
+class EDFHostScheduler(HostScheduler):
+    """Global EDF over deferrable-server VCPUs."""
+
+    name = "host-edf-ds"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._servers: Dict[int, _Server] = {}  # vcpu uid -> server
+        self._started = False
+
+    # -- population ----------------------------------------------------------------
+
+    def add_vcpu(self, vcpu: VCPU) -> None:
+        """Schedule *vcpu* as a server using its (budget, period) params."""
+        if vcpu.uid in self._servers:
+            raise ConfigurationError(f"{vcpu.name} is already scheduled")
+        if vcpu.period_ns <= 0 or vcpu.budget_ns <= 0:
+            raise ConfigurationError(
+                f"{vcpu.name} has no (budget, period) interface configured"
+            )
+        server = _Server(vcpu, vcpu.budget_ns, vcpu.period_ns)
+        self._servers[vcpu.uid] = server
+        vcpu.admitted = True
+        if self._started:
+            self._replenish(server)
+
+    def remove_vcpu(self, vcpu: VCPU) -> None:
+        server = self._servers.pop(vcpu.uid, None)
+        if server is None:
+            return
+        self.engine.cancel(server.replenish_event)
+        self.engine.cancel(server.exhaust_event)
+        pcpu_index = self.machine.pcpu_of(vcpu)
+        if pcpu_index is not None:
+            self.machine.set_running(pcpu_index, None)
+            self.fill_with_background(pcpu_index)
+
+    # -- server lifecycle -----------------------------------------------------------
+
+    def _replenish(self, server: _Server) -> None:
+        # Sync first: time consumed before this instant must drain the old
+        # budget, not the fresh one.
+        self.machine.sync_all()
+        now = self.engine.now
+        server.remaining = server.budget
+        server.deadline = now + server.period
+        server.replenish_event = self.engine.after(
+            server.period,
+            self._replenish,
+            server,
+            priority=PRIORITY_BUDGET,
+            name=f"replenish:{server.vcpu.name}",
+        )
+        self._reschedule()
+
+    def _exhaust(self, server: _Server) -> None:
+        server.exhaust_event = None
+        self.machine.sync_all()  # account() drains the budget exactly
+        if server.remaining > 0:  # raced with a preemption; timer is stale
+            return
+        self._reschedule()
+
+    def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:
+        server = self._servers.get(vcpu.uid)
+        if server is not None:
+            server.remaining = max(0, server.remaining - elapsed)
+
+    # -- notifications ------------------------------------------------------------------
+
+    def on_vcpu_wake(self, vcpu: VCPU) -> None:
+        if vcpu.uid in self._servers:
+            self._reschedule()
+        elif vcpu in self._background:
+            free = self._free_pcpus()
+            if free:
+                self.fill_with_background(free[0])
+
+    def on_vcpu_idle(self, vcpu: VCPU, pcpu_index: int) -> None:
+        # Deferrable behaviour: the server keeps its budget; the PCPU is
+        # handed to the next eligible server or a background VCPU.
+        self._reschedule()
+
+    # -- the scheduling decision -----------------------------------------------------------
+
+    def _eligible(self) -> List[_Server]:
+        servers = [
+            s
+            for s in self._servers.values()
+            if s.remaining > 0 and s.vcpu.vm.vcpu_has_work(s.vcpu)
+        ]
+        servers.sort(key=lambda s: (s.deadline, s.vcpu.uid))
+        return servers
+
+    def _free_pcpus(self) -> List[int]:
+        return [p.index for p in self.machine.pcpus if p.running_vcpu is None]
+
+    def _reschedule(self) -> None:
+        """Run the m earliest-deadline eligible servers; fill the rest."""
+        machine = self.machine
+        machine.sync_all()
+        eligible = self._eligible()
+        chosen = eligible[: machine.pcpu_count]
+        chosen_uids: Set[int] = {s.vcpu.uid for s in chosen}
+        locations = machine.vcpu_locations()
+
+        # Vacate PCPUs whose RT occupant is no longer chosen.
+        for pcpu in machine.pcpus:
+            occupant = pcpu.running_vcpu
+            if occupant is None:
+                continue
+            if occupant.uid in self._servers and occupant.uid not in chosen_uids:
+                machine.set_running(pcpu.index, None)
+
+        # Place chosen servers, preferring their current PCPU (no migration).
+        pending = [s for s in chosen if machine.pcpu_of(s.vcpu) is None]
+        for server in pending:
+            target = self._pick_pcpu_for(server, chosen_uids)
+            if target is None:
+                raise SchedulingError(
+                    f"no PCPU available for chosen server {server.vcpu.name}"
+                )
+            machine.charge_schedule(target, elements=len(eligible))
+            machine.set_running(target, server.vcpu)
+            self._arm_exhaust(server)
+
+        # Maintain exhaust timers for servers that kept their PCPU.
+        for server in chosen:
+            if server not in pending:
+                self._arm_exhaust(server)
+        for server in self._servers.values():
+            if server.vcpu.uid not in chosen_uids:
+                self._disarm_exhaust(server)
+
+        for index in self._free_pcpus():
+            self.fill_with_background(index)
+
+    def _pick_pcpu_for(self, server: _Server, chosen_uids: Set[int]) -> Optional[int]:
+        free = self._free_pcpus()
+        if free:
+            return free[0]
+        # Preempt a background VCPU if one holds a PCPU.
+        for pcpu in self.machine.pcpus:
+            occupant = pcpu.running_vcpu
+            if occupant is not None and occupant.uid not in self._servers:
+                return pcpu.index
+        return None
+
+    def _arm_exhaust(self, server: _Server) -> None:
+        target = self.engine.now + server.remaining
+        event = server.exhaust_event
+        if event is not None and event.active and event.time == target:
+            return
+        self._disarm_exhaust(server)
+        if server.remaining <= 0:
+            return
+        server.exhaust_event = self.engine.at(
+            target,
+            self._exhaust,
+            server,
+            priority=PRIORITY_BUDGET,
+            name=f"exhaust:{server.vcpu.name}",
+        )
+
+    def _disarm_exhaust(self, server: _Server) -> None:
+        if server.exhaust_event is not None:
+            self.engine.cancel(server.exhaust_event)
+            server.exhaust_event = None
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def start(self) -> None:
+        self._started = True
+        for server in self._servers.values():
+            self._replenish(server)
+        if not self._servers:
+            for index in self._free_pcpus():
+                self.fill_with_background(index)
+
+
+class PartitionedEDFHostScheduler(EDFHostScheduler):
+    """RT-Xen's partitioned configuration: pEDF + deferrable server.
+
+    Each VCPU server is statically bound to one PCPU (first-fit
+    decreasing by bandwidth at add time, or explicitly via *pcpu*); each
+    PCPU runs EDF over its own servers with no migration.  The paper
+    compares against RT-Xen's *best* configuration (gEDF); this variant
+    completes the RT-Xen 2.0 design space for ablations.
+    """
+
+    name = "host-pedf-ds"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._home: Dict[int, int] = {}  # vcpu uid -> pcpu index
+        self._loads: Dict[int, float] = {}
+
+    def add_vcpu(self, vcpu: VCPU, pcpu: Optional[int] = None) -> None:
+        """Bind *vcpu* to a PCPU (first-fit decreasing when unspecified)."""
+        if pcpu is None:
+            bw = float(vcpu.bandwidth)
+            pcpu = self._first_fit(bw)
+            if pcpu is None:
+                raise ConfigurationError(
+                    f"no PCPU has {bw:.3f} bandwidth free for {vcpu.name} "
+                    "(partitioned placement)"
+                )
+        elif not 0 <= pcpu < self.machine.pcpu_count:
+            raise ConfigurationError(f"no PCPU {pcpu}")
+        super().add_vcpu(vcpu)
+        self._home[vcpu.uid] = pcpu
+        self._loads[pcpu] = self._loads.get(pcpu, 0.0) + float(vcpu.bandwidth)
+
+    def _first_fit(self, bw: float) -> Optional[int]:
+        for index in range(self.machine.pcpu_count):
+            if self._loads.get(index, 0.0) + bw <= 1.0 + 1e-12:
+                return index
+        return None
+
+    def remove_vcpu(self, vcpu: VCPU) -> None:
+        home = self._home.pop(vcpu.uid, None)
+        if home is not None:
+            self._loads[home] = self._loads.get(home, 0.0) - float(vcpu.bandwidth)
+        super().remove_vcpu(vcpu)
+
+    def _reschedule(self) -> None:
+        """Per-PCPU EDF: each PCPU independently runs its earliest server."""
+        machine = self.machine
+        machine.sync_all()
+        eligible = self._eligible()
+        for pcpu in machine.pcpus:
+            local = [s for s in eligible if self._home.get(s.vcpu.uid) == pcpu.index]
+            chosen = local[0] if local else None
+            occupant = pcpu.running_vcpu
+            occupant_is_rt = occupant is not None and occupant.uid in self._servers
+            if chosen is None:
+                if occupant_is_rt:
+                    machine.set_running(pcpu.index, None)
+                if pcpu.running_vcpu is None:
+                    self.fill_with_background(pcpu.index)
+                continue
+            if occupant is not chosen.vcpu:
+                machine.charge_schedule(pcpu.index, elements=len(local))
+                if occupant is not None:
+                    machine.set_running(pcpu.index, None)
+                machine.set_running(pcpu.index, chosen.vcpu)
+            self._arm_exhaust(chosen)
+            for server in local[1:]:
+                self._disarm_exhaust(server)

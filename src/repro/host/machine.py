@@ -1,0 +1,348 @@
+"""The physical host model and simulation driver.
+
+The machine owns the PCPUs and enforces the two-level execution
+discipline:
+
+- the **host scheduler** decides which VCPU occupies each PCPU, through
+  :meth:`set_running`;
+- the **guest scheduler** of the occupying VM decides which job that
+  VCPU executes, re-evaluated by the machine's refresh pass after every
+  event batch;
+- the machine charges elapsed CPU time to the running job between
+  events, maintains overhead windows from the :class:`CostModel`, and
+  fires exact job-completion events.
+
+Invariant: the (PCPU → VCPU → job) mapping only changes inside event
+handlers, and every handler that changes it synchronizes charged work
+first.  Work charging is exact integer arithmetic, so completion events
+land precisely when the job's remaining work reaches zero.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..guest.task import Job
+from ..guest.vcpu import VCPU
+from ..guest.vm import VM
+from ..metrics.overhead import HostMetrics
+from ..simcore.engine import Engine
+from ..simcore.errors import ConfigurationError, SchedulingError
+from ..simcore.events import PRIORITY_COMPLETION, PRIORITY_SCHEDULE
+from ..simcore.trace import NullTrace, Trace
+from .costs import DEFAULT_COSTS, CostModel
+from .pcpu import PCPU
+
+
+def _noop() -> None:
+    """Placeholder callback for refresh-kick events."""
+
+
+class Machine:
+    """A multiprocessor host executing VMs under a host scheduler."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pcpu_count: int,
+        cost_model: CostModel = DEFAULT_COSTS,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if pcpu_count < 1:
+            raise ConfigurationError("a machine needs at least one PCPU")
+        self.engine = engine
+        self.pcpus: List[PCPU] = [PCPU(i) for i in range(pcpu_count)]
+        self.costs = cost_model
+        self.trace = trace if trace is not None else NullTrace()
+        self.metrics = HostMetrics()
+        self.vms: List[VM] = []
+        self.host_scheduler = None
+        self._vcpu_pcpu: Dict[int, int] = {}  # vcpu uid -> pcpu index
+        self._vcpu_last_pcpu: Dict[int, int] = {}  # for migration detection
+        self._started = False
+        self._kick = None
+        engine.add_post_hook(self._refresh)
+
+    def _request_refresh(self) -> None:
+        """Guarantee a refresh pass runs at the current instant.
+
+        State changes made outside event handlers (e.g. a scheduler's
+        synchronous start-up) would otherwise wait for the next event.
+        """
+        if self._kick is None or not self._kick.active:
+            self._kick = self.engine.at(
+                self.engine.now, _noop, priority=PRIORITY_SCHEDULE, name="refresh-kick"
+            )
+
+    # -- wiring -----------------------------------------------------------------
+
+    @property
+    def pcpu_count(self) -> int:
+        return len(self.pcpus)
+
+    def set_host_scheduler(self, scheduler) -> None:
+        """Install the VMM-level scheduler."""
+        self.host_scheduler = scheduler
+        scheduler.attach(self)
+
+    def attach_vm(self, vm: VM) -> None:
+        """Bring *vm* under this machine's control."""
+        if vm.machine is not None:
+            raise ConfigurationError(f"VM {vm.name} is already attached")
+        vm.machine = self
+        self.vms.append(vm)
+
+    def vcpu_locations(self) -> Dict[int, int]:
+        """Mapping of running VCPU uid -> PCPU index."""
+        return dict(self._vcpu_pcpu)
+
+    def pcpu_of(self, vcpu: VCPU) -> Optional[int]:
+        """PCPU currently running *vcpu*, or None."""
+        return self._vcpu_pcpu.get(vcpu.uid)
+
+    # -- work charging -------------------------------------------------------------
+
+    def sync_pcpu(self, pcpu: PCPU) -> None:
+        """Charge execution on *pcpu* from its last sync point to now."""
+        now = self.engine.now
+        elapsed = now - pcpu.last_sync
+        if elapsed < 0:  # pragma: no cover - engine invariant
+            raise SchedulingError(f"PCPU {pcpu.index} synced into the past")
+        if elapsed == 0:
+            return
+        overhead = max(0, min(now, pcpu.overhead_until) - pcpu.last_sync)
+        effective = elapsed - overhead
+        usage = self.metrics.pcpu(pcpu.index)
+        usage.overhead += overhead
+        vcpu = pcpu.running_vcpu
+        job = pcpu.current_job
+        if vcpu is not None and job is not None and effective > 0:
+            job.charge(effective)
+            usage.busy += effective
+            self.trace.record_segment(
+                pcpu.index, vcpu.name, job.task.name, max(pcpu.last_sync, now - effective), now
+            )
+            if job.done:
+                # Retire immediately: a preemption at this exact instant
+                # would otherwise cancel the pending completion event and
+                # leave the finished job clogging the guest queue.
+                self._retire(pcpu, job)
+        if vcpu is not None and self.host_scheduler is not None:
+            self.host_scheduler.account(vcpu, pcpu.index, elapsed)
+        pcpu.last_sync = now
+
+    def sync_all(self) -> None:
+        """Charge execution on every PCPU up to now."""
+        for pcpu in self.pcpus:
+            self.sync_pcpu(pcpu)
+
+    # -- overhead windows -------------------------------------------------------------
+
+    def _extend_overhead(self, pcpu: PCPU, cost: int) -> None:
+        if cost <= 0:
+            return
+        now = self.engine.now
+        pcpu.overhead_until = max(pcpu.overhead_until, now) + cost
+
+    def charge_schedule(self, pcpu_index: int, elements: int = 0) -> None:
+        """Charge one host schedule() invocation on *pcpu_index*.
+
+        Host schedulers call this at every decision point; the cost both
+        extends the PCPU's overhead window and feeds Table 6's accounting.
+        """
+        cost = self.costs.schedule_cost(elements)
+        pcpu = self.pcpus[pcpu_index]
+        self.sync_pcpu(pcpu)
+        self._extend_overhead(pcpu, cost)
+        self.metrics.overhead.record_schedule(cost)
+
+    def charge_extra(self, pcpu_index: int, cost: int) -> None:
+        """Charge an arbitrary scheduler-specific overhead (wake path etc.).
+
+        Recorded under schedule() time in the overhead accounting.
+        """
+        if cost <= 0:
+            return
+        pcpu = self.pcpus[pcpu_index]
+        self.sync_pcpu(pcpu)
+        self._extend_overhead(pcpu, cost)
+        self.metrics.overhead.record_schedule(cost)
+
+    def charge_hypercall(self, pcpu_index: int = 0) -> None:
+        """Charge one guest->host hypercall."""
+        cost = self.costs.hypercall_ns
+        pcpu = self.pcpus[pcpu_index]
+        self.sync_pcpu(pcpu)
+        self._extend_overhead(pcpu, cost)
+        self.metrics.overhead.record_hypercall(cost)
+
+    # -- host scheduler actions ----------------------------------------------------------
+
+    def set_running(self, pcpu_index: int, vcpu: Optional[VCPU]) -> None:
+        """Place *vcpu* (or nothing) on PCPU *pcpu_index*.
+
+        Charges context-switch (and migration) overhead when the occupant
+        changes.  A VCPU may occupy at most one PCPU; schedulers must
+        vacate it first when moving it.
+        """
+        pcpu = self.pcpus[pcpu_index]
+        old = pcpu.running_vcpu
+        if old is vcpu:
+            return
+        self.sync_pcpu(pcpu)
+        if old is not None:
+            del self._vcpu_pcpu[old.uid]
+            self._vcpu_last_pcpu[old.uid] = pcpu_index
+            old.vm.on_vcpu_descheduled(old)
+        if vcpu is not None:
+            holder = self._vcpu_pcpu.get(vcpu.uid)
+            if holder is not None:
+                raise SchedulingError(
+                    f"{vcpu.name} is already running on PCPU {holder}, "
+                    f"cannot also run on {pcpu_index}"
+                )
+            self._vcpu_pcpu[vcpu.uid] = pcpu_index
+            cost = self.costs.context_switch_ns
+            migrated = (
+                vcpu.uid in self._vcpu_last_pcpu
+                and self._vcpu_last_pcpu[vcpu.uid] != pcpu_index
+            )
+            if cost > 0:
+                self.metrics.overhead.record_context_switch(cost)
+            if migrated and self.costs.migration_ns > 0:
+                self.metrics.overhead.record_migration(self.costs.migration_ns)
+                cost += self.costs.migration_ns
+            self._extend_overhead(pcpu, cost)
+            self.trace.record_event(
+                self.engine.now, "switch", pcpu_index, vcpu.name, migrated
+            )
+        pcpu.running_vcpu = vcpu
+        pcpu.current_job = None
+        pcpu.idle_notified = False
+        self._cancel_completion(pcpu)
+        self._request_refresh()
+
+    # -- notifications --------------------------------------------------------------------
+
+    def notify_wake(self, vcpu: VCPU) -> None:
+        """A job was released that *vcpu* may run (called by the VM)."""
+        pcpu_index = self._vcpu_pcpu.get(vcpu.uid)
+        if pcpu_index is not None:
+            self.pcpus[pcpu_index].idle_notified = False
+        if self.host_scheduler is not None:
+            self.host_scheduler.on_vcpu_wake(vcpu)
+
+    # -- completion management ----------------------------------------------------------------
+
+    def _cancel_completion(self, pcpu: PCPU) -> None:
+        if pcpu.completion_event is not None:
+            self.engine.cancel(pcpu.completion_event)
+            pcpu.completion_event = None
+
+    def _schedule_completion(self, pcpu: PCPU, job: Job) -> None:
+        target = pcpu.effective_start(self.engine.now) + job.remaining
+        event = pcpu.completion_event
+        if event is not None and event.active and event.time == target and event.args[1] is job:
+            return
+        self._cancel_completion(pcpu)
+        pcpu.completion_event = self.engine.at(
+            target,
+            self._on_completion,
+            pcpu,
+            job,
+            priority=PRIORITY_COMPLETION,
+            name=f"complete:{job.task.name}",
+        )
+
+    def _on_completion(self, pcpu: PCPU, job: Job) -> None:
+        pcpu.completion_event = None
+        self.sync_pcpu(pcpu)  # retires the job as a side effect
+        if job.completed_at is None:
+            raise SchedulingError(
+                f"completion event fired for {job!r} with work remaining "
+                f"on PCPU {pcpu.index}"
+            )
+
+    def _retire(self, pcpu: PCPU, job: Job) -> None:
+        job.task.retire_job(job, self.engine.now)
+        if pcpu.current_job is job:
+            pcpu.current_job = None
+        self._cancel_completion(pcpu)
+        self.trace.record_event(self.engine.now, "complete", job.task.name, job.index)
+
+    # -- the refresh pass ----------------------------------------------------------------------
+
+    def _refresh(self) -> None:
+        """Re-evaluate guest dispatch after every event batch.
+
+        For each occupied PCPU: pick the guest job to run (EDF inside the
+        guest), maintain the tentative completion event, and report
+        VCPUs that idle while holding a PCPU to the host scheduler.
+        """
+        if self.host_scheduler is None:
+            return
+        now = self.engine.now
+        self.sync_all()
+        for pcpu in self.pcpus:
+            vcpu = pcpu.running_vcpu
+            if vcpu is None:
+                continue
+            job = vcpu.vm.pick_job(vcpu, now)
+            if job is not None and job.done:
+                job = None
+            if job is not pcpu.current_job:
+                if (
+                    pcpu.current_job is not None
+                    and job is not None
+                    and self.costs.guest_switch_ns > 0
+                ):
+                    self._extend_overhead(pcpu, self.costs.guest_switch_ns)
+                pcpu.current_job = job
+            if job is not None:
+                pcpu.idle_notified = False
+                self._schedule_completion(pcpu, job)
+            else:
+                self._cancel_completion(pcpu)
+                if not pcpu.idle_notified:
+                    pcpu.idle_notified = True
+                    self.engine.at(
+                        now,
+                        self._report_idle,
+                        pcpu,
+                        vcpu,
+                        priority=PRIORITY_SCHEDULE,
+                        name=f"idle:{vcpu.name}",
+                    )
+
+    def _report_idle(self, pcpu: PCPU, vcpu: VCPU) -> None:
+        if pcpu.running_vcpu is not vcpu:
+            return  # assignment changed in the meantime
+        if vcpu.vm.vcpu_has_work(vcpu):
+            return  # work arrived at the same instant
+        self.host_scheduler.on_vcpu_idle(vcpu, pcpu.index)
+
+    # -- run ------------------------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the host scheduler (idempotent)."""
+        if self.host_scheduler is None:
+            raise ConfigurationError("no host scheduler installed")
+        if not self._started:
+            self._started = True
+            self.host_scheduler.start()
+
+    def run(self, until: int) -> None:
+        """Run the simulation up to absolute time *until*."""
+        self.start()
+        self.engine.run_until(until)
+        self.sync_all()
+
+    def finalize(self) -> None:
+        """Close out end-of-run accounting on every VM."""
+        self.sync_all()
+        for vm in self.vms:
+            vm.finalize(self.engine.now)
+
+    def total_cpu_time(self) -> int:
+        """Wall time elapsed times the number of PCPUs (Table 6 denominator)."""
+        return self.engine.now * len(self.pcpus)

@@ -1,0 +1,55 @@
+"""Physical CPU state.
+
+A PCPU runs at most one VCPU at a time; within the VCPU, the guest
+scheduler selects the current job.  All bookkeeping (work charging,
+overhead windows, tentative completion events) is driven by the
+:class:`repro.host.machine.Machine`; this class only holds the state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..guest.task import Job
+from ..guest.vcpu import VCPU
+from ..simcore.events import Event
+
+
+class PCPU:
+    """One physical processor of the simulated host."""
+
+    __slots__ = (
+        "index",
+        "running_vcpu",
+        "current_job",
+        "last_sync",
+        "overhead_until",
+        "completion_event",
+        "idle_notified",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.running_vcpu: Optional[VCPU] = None
+        self.current_job: Optional[Job] = None
+        #: Time up to which execution has been charged.
+        self.last_sync: int = 0
+        #: End of the pending overhead window (context switch etc.).
+        self.overhead_until: int = 0
+        #: Tentative job-completion event currently scheduled, if any.
+        self.completion_event: Optional[Event] = None
+        #: Guard so an idle VCPU is reported to the host scheduler once.
+        self.idle_notified: bool = False
+
+    @property
+    def busy(self) -> bool:
+        """True when a VCPU currently occupies this PCPU."""
+        return self.running_vcpu is not None
+
+    def effective_start(self, now: int) -> int:
+        """Earliest instant from which real work can proceed."""
+        return max(now, self.overhead_until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        who = self.running_vcpu.name if self.running_vcpu else "idle"
+        return f"<PCPU {self.index} {who} job={self.current_job!r}>"

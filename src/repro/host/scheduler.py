@@ -1,0 +1,141 @@
+"""The host (VMM-level) scheduler interface.
+
+Concrete schedulers — DP-WRAP (:mod:`repro.core.dpwrap`), RT-Xen's
+gEDF deferrable server (:mod:`repro.baselines.rtxen`), Xen Credit
+(:mod:`repro.baselines.credit`) and plain host EDF
+(:mod:`repro.host.edf`) — implement this interface.  The machine calls
+the ``on_*`` hooks; the scheduler places VCPUs onto PCPUs through
+:meth:`repro.host.machine.Machine.set_running` and schedules its own
+timer events through the engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from ..guest.vcpu import VCPU
+from ..simcore.errors import SchedulingError
+from ..simcore.events import PRIORITY_DEFAULT
+from ..simcore.time import MSEC
+
+
+class HostScheduler(abc.ABC):
+    """Base class for VMM-level CPU schedulers."""
+
+    name = "abstract"
+
+    #: Rotation quantum for background VCPUs sharing leftover time.
+    bg_quantum_ns = MSEC
+
+    def __init__(self) -> None:
+        self.machine = None
+        self._background: List[VCPU] = []
+        self._bg_cursor = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        """Called by :meth:`Machine.set_host_scheduler`."""
+        self.machine = machine
+
+    @property
+    def engine(self):
+        if self.machine is None:
+            raise SchedulingError(f"{self.name} scheduler is not attached to a machine")
+        return self.machine.engine
+
+    # -- VCPU population --------------------------------------------------------
+
+    @abc.abstractmethod
+    def add_vcpu(self, vcpu: VCPU) -> None:
+        """Start scheduling *vcpu* using its host-visible parameters."""
+
+    @abc.abstractmethod
+    def remove_vcpu(self, vcpu: VCPU) -> None:
+        """Stop scheduling *vcpu*."""
+
+    def update_vcpu(self, vcpu: VCPU) -> None:
+        """React to a parameter change (default: remove + re-add)."""
+        self.remove_vcpu(vcpu)
+        self.add_vcpu(vcpu)
+
+    def add_background_vcpu(self, vcpu: VCPU) -> None:
+        """Register a best-effort VCPU that soaks up leftover CPU time.
+
+        Background VCPUs receive the bandwidth not reserved by RT VCPUs
+        (paper §3.4); schedulers hand them idle or unreserved time.
+        """
+        self._background.append(vcpu)
+
+    def next_background_vcpu(self, exclude=None) -> Optional[VCPU]:
+        """Round-robin over background VCPUs with runnable work."""
+        if not self._background:
+            return None
+        n = len(self._background)
+        busy = self.machine.vcpu_locations() if self.machine else {}
+        for offset in range(n):
+            vcpu = self._background[(self._bg_cursor + offset) % n]
+            if exclude is not None and vcpu in exclude:
+                continue
+            if vcpu.uid in busy:
+                continue
+            if vcpu.vm.vcpu_has_work(vcpu):
+                self._bg_cursor = (self._bg_cursor + offset + 1) % n
+                return vcpu
+        return None
+
+    def fill_with_background(self, pcpu_index: int) -> None:
+        """Give *pcpu_index* to a background VCPU (or idle it).
+
+        Background VCPUs rotate every :attr:`bg_quantum_ns` so leftover
+        bandwidth is shared equally among them (paper §3.4's proportional
+        allocation, with equal proportions).  When every other background
+        VCPU is already running (pool <= PCPUs), the current occupant
+        keeps the PCPU instead of being evicted to idle.
+        """
+        vcpu = self.next_background_vcpu()
+        occupant = self.machine.pcpus[pcpu_index].running_vcpu
+        if (
+            vcpu is None
+            and occupant is not None
+            and occupant in self._background
+            and occupant.vm.vcpu_has_work(occupant)
+        ):
+            vcpu = occupant
+        self.machine.set_running(pcpu_index, vcpu)
+        if vcpu is not None and len(self._background) > 1:
+            self.engine.after(
+                self.bg_quantum_ns,
+                self._rotate_background,
+                pcpu_index,
+                vcpu,
+                priority=PRIORITY_DEFAULT,
+                name="bg-rotate",
+            )
+
+    def _rotate_background(self, pcpu_index: int, vcpu: VCPU) -> None:
+        if self.machine.pcpus[pcpu_index].running_vcpu is vcpu:
+            self.fill_with_background(pcpu_index)
+
+    # -- runtime notifications ------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_vcpu_wake(self, vcpu: VCPU) -> None:
+        """*vcpu* gained runnable work (a job was released)."""
+
+    @abc.abstractmethod
+    def on_vcpu_idle(self, vcpu: VCPU, pcpu_index: int) -> None:
+        """*vcpu* holds a PCPU but has nothing to run."""
+
+    def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:
+        """*vcpu* occupied *pcpu_index* for *elapsed* ns (wall-clock).
+
+        Budget- and credit-based schedulers override this to burn budget.
+        """
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin scheduling: set up the initial assignment and timers."""

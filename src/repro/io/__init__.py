@@ -1,0 +1,13 @@
+"""Cross-layer I/O scheduling substrate (the paper's §7 future work)."""
+
+from .device import BlockDevice, IORequest, IOScheduler
+from .schedulers import CrossLayerEDFIOScheduler, FairShareIOScheduler, FifoIOScheduler
+
+__all__ = [
+    "BlockDevice",
+    "IORequest",
+    "IOScheduler",
+    "FifoIOScheduler",
+    "FairShareIOScheduler",
+    "CrossLayerEDFIOScheduler",
+]

@@ -1,0 +1,155 @@
+"""A shared block/network I/O device model (paper §7 future work).
+
+*"One of our future objectives is to expand the support of cross-layer
+scheduling to include I/O resources, in order to support applications
+that are dependent on timely delivery of I/O resources, in addition to
+CPU bandwidth."*
+
+The device serves one request at a time (a queue-depth-1 abstraction of
+a device whose internal parallelism is already folded into the service
+time).  Which queued request is served next is decided by a pluggable
+:class:`IOScheduler`; requests carry the issuing VM so schedulers can
+implement per-VM bandwidth reservations, and optionally a deadline so
+cross-layer scheduling can prioritize time-sensitive I/O.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..simcore.engine import Engine
+from ..simcore.errors import ConfigurationError
+from ..simcore.events import PRIORITY_DEFAULT
+from ..simcore.time import USEC
+
+
+@dataclass
+class IORequest:
+    """One I/O operation submitted to the device."""
+
+    vm_name: str
+    size_bytes: int
+    submitted_at: int
+    deadline: Optional[int] = None
+    on_complete: Optional[Callable[["IORequest"], None]] = None
+    seq: int = field(default_factory=itertools.count().__next__)
+    started_at: Optional[int] = None
+    completed_at: Optional[int] = None
+
+    @property
+    def latency_ns(self) -> Optional[int]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        if self.deadline is None or self.completed_at is None:
+            return None
+        return self.completed_at <= self.deadline
+
+
+class IOScheduler:
+    """Base: pick the next queued request to serve (FIFO by default)."""
+
+    name = "fifo"
+
+    def select(self, queue: List[IORequest], now: int) -> IORequest:
+        if not queue:
+            raise ConfigurationError("select() on an empty queue")
+        return queue[0]
+
+    def account(self, request: IORequest, service_ns: int) -> None:
+        """Called when a request finishes service."""
+
+
+class BlockDevice:
+    """A device with fixed per-byte throughput plus per-request overhead."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "vda",
+        bytes_per_second: int = 200 * 1024 * 1024,
+        fixed_overhead_ns: int = 50 * USEC,
+        scheduler: Optional[IOScheduler] = None,
+    ) -> None:
+        if bytes_per_second <= 0:
+            raise ConfigurationError("throughput must be positive")
+        if fixed_overhead_ns < 0:
+            raise ConfigurationError("overhead must be non-negative")
+        self.engine = engine
+        self.name = name
+        self.bytes_per_second = bytes_per_second
+        self.fixed_overhead_ns = fixed_overhead_ns
+        self.scheduler = scheduler if scheduler is not None else IOScheduler()
+        self.queue: List[IORequest] = []
+        self.in_flight: Optional[IORequest] = None
+        self.completed: List[IORequest] = []
+
+    def service_time(self, request: IORequest) -> int:
+        """Time the device needs for *request*, ns."""
+        transfer = request.size_bytes * 1_000_000_000 // self.bytes_per_second
+        return self.fixed_overhead_ns + transfer
+
+    def submit(
+        self,
+        vm_name: str,
+        size_bytes: int,
+        deadline: Optional[int] = None,
+        on_complete: Optional[Callable[[IORequest], None]] = None,
+    ) -> IORequest:
+        """Queue an I/O request; returns it for inspection."""
+        if size_bytes <= 0:
+            raise ConfigurationError("request size must be positive")
+        request = IORequest(
+            vm_name=vm_name,
+            size_bytes=size_bytes,
+            submitted_at=self.engine.now,
+            deadline=deadline,
+            on_complete=on_complete,
+        )
+        self.queue.append(request)
+        self._maybe_start()
+        return request
+
+    def _maybe_start(self) -> None:
+        if self.in_flight is not None or not self.queue:
+            return
+        request = self.scheduler.select(self.queue, self.engine.now)
+        self.queue.remove(request)
+        request.started_at = self.engine.now
+        self.in_flight = request
+        self.engine.after(
+            self.service_time(request),
+            self._finish,
+            request,
+            priority=PRIORITY_DEFAULT,
+            name=f"io:{self.name}",
+        )
+
+    def _finish(self, request: IORequest) -> None:
+        request.completed_at = self.engine.now
+        self.scheduler.account(request, self.service_time(request))
+        self.in_flight = None
+        self.completed.append(request)
+        if request.on_complete is not None:
+            request.on_complete(request)
+        self._maybe_start()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def latencies_by_vm(self) -> Dict[str, List[int]]:
+        out: Dict[str, List[int]] = {}
+        for request in self.completed:
+            out.setdefault(request.vm_name, []).append(request.latency_ns)
+        return out
+
+    def miss_count(self, vm_name: Optional[str] = None) -> int:
+        return sum(
+            1
+            for r in self.completed
+            if r.met_deadline is False and (vm_name is None or r.vm_name == vm_name)
+        )

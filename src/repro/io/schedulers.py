@@ -1,0 +1,127 @@
+"""I/O schedulers, including the cross-layer EDF the paper's §7 sketches.
+
+Three policies over the shared device:
+
+- :class:`FifoIOScheduler` — arrival order, the no-QoS baseline;
+- :class:`FairShareIOScheduler` — per-VM weighted fair queueing by
+  virtual start times (an SFQ-style proportional-share baseline, the
+  I/O analogue of the Credit scheduler);
+- :class:`CrossLayerEDFIOScheduler` — per-VM bandwidth reservations
+  with request deadlines supplied by the guest through the same kind of
+  cross-layer channel RTVirt uses for CPU: reserved, deadline-bearing
+  requests are served EDF; best-effort requests take the leftover,
+  mirroring DP-WRAP's donation discipline.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+from ..simcore.errors import ConfigurationError
+from .device import IORequest, IOScheduler
+
+
+class FifoIOScheduler(IOScheduler):
+    """Arrival order — what an unmanaged device queue does."""
+
+    name = "fifo"
+
+
+class FairShareIOScheduler(IOScheduler):
+    """Start-time fair queueing over per-VM weights.
+
+    Each VM has a virtual clock advanced by served-bytes/weight; the
+    queued request of the VM with the smallest virtual start tag is
+    served next.  Proportional, but deadline-blind — time-sensitive
+    requests wait their fair turn behind bulk traffic.
+    """
+
+    name = "fair-share"
+
+    def __init__(self, default_weight: int = 100) -> None:
+        if default_weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self.default_weight = default_weight
+        self.weights: Dict[str, int] = {}
+        self._vclock: Dict[str, float] = {}
+
+    def set_weight(self, vm_name: str, weight: int) -> None:
+        if weight <= 0:
+            raise ConfigurationError("weight must be positive")
+        self.weights[vm_name] = weight
+
+    def select(self, queue: List[IORequest], now: int) -> IORequest:
+        floor = min(self._vclock.values(), default=0.0)
+        return min(
+            queue,
+            key=lambda r: (max(self._vclock.get(r.vm_name, floor), floor), r.seq),
+        )
+
+    def account(self, request: IORequest, service_ns: int) -> None:
+        weight = self.weights.get(request.vm_name, self.default_weight)
+        floor = min(self._vclock.values(), default=0.0)
+        current = max(self._vclock.get(request.vm_name, floor), floor)
+        self._vclock[request.vm_name] = current + request.size_bytes / weight
+
+
+class CrossLayerEDFIOScheduler(IOScheduler):
+    """Reservation + deadline-aware I/O scheduling (the §7 extension).
+
+    A VM registers an I/O bandwidth reservation (bytes per period).
+    Requests from reserved VMs carry guest-published deadlines and are
+    served earliest-deadline-first while the VM has budget in the
+    current period; best-effort and over-budget traffic shares the
+    remainder FIFO.  The structure deliberately parallels the CPU side:
+    reservation = hypercall-granted bandwidth, deadline = shared-memory
+    publication, leftover = donation.
+    """
+
+    name = "xl-edf"
+
+    def __init__(self, period_ns: int = 100_000_000) -> None:
+        if period_ns <= 0:
+            raise ConfigurationError("period must be positive")
+        self.period_ns = period_ns
+        self.reservations: Dict[str, int] = {}  # vm -> bytes per period
+        self._spent: Dict[str, int] = {}  # bytes served this period
+        self._period_start = 0
+
+    def reserve(self, vm_name: str, bytes_per_period: int) -> None:
+        """Grant *vm_name* an I/O bandwidth reservation."""
+        if bytes_per_period <= 0:
+            raise ConfigurationError("reservation must be positive")
+        self.reservations[vm_name] = bytes_per_period
+
+    def _roll_period(self, now: int) -> None:
+        if now - self._period_start >= self.period_ns:
+            periods = (now - self._period_start) // self.period_ns
+            self._period_start += periods * self.period_ns
+            self._spent.clear()
+
+    def _has_budget(self, request: IORequest) -> bool:
+        quota = self.reservations.get(request.vm_name)
+        if quota is None:
+            return False
+        return self._spent.get(request.vm_name, 0) < quota
+
+    def select(self, queue: List[IORequest], now: int) -> IORequest:
+        self._roll_period(now)
+        reserved = [
+            r for r in queue if r.deadline is not None and self._has_budget(r)
+        ]
+        if reserved:
+            return min(reserved, key=lambda r: (r.deadline, r.seq))
+        return min(queue, key=lambda r: r.seq)  # leftover: FIFO
+
+    def account(self, request: IORequest, service_ns: int) -> None:
+        if request.vm_name in self.reservations:
+            self._spent[request.vm_name] = (
+                self._spent.get(request.vm_name, 0) + request.size_bytes
+            )
+
+    def utilization_of_reservations(self, device_bytes_per_second: int) -> Fraction:
+        """Reserved share of the device's throughput (admission check)."""
+        per_second = Fraction(1_000_000_000, self.period_ns)
+        total = sum(self.reservations.values())
+        return Fraction(total) * per_second / device_bytes_per_second

@@ -1,0 +1,69 @@
+"""Request-latency recording for the memcached experiments.
+
+Latency here is the paper's NIC-to-NIC definition: from the instant the
+request reaches the host to the instant the response is ready to leave,
+i.e. job release to job completion inside the simulation.  An optional
+constant network delay can be added when reporting client-side numbers
+(the paper measured 19 µs at the 99.9th percentile and excluded it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..simcore.time import to_usec
+from .percentiles import cdf_points, fraction_below, mean, tail_summary
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects per-request latencies (integer ns) for one service."""
+
+    name: str = "latency"
+    samples_ns: List[int] = field(default_factory=list)
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples_ns.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples_ns)
+
+    @property
+    def samples_usec(self) -> List[float]:
+        """All samples converted to microseconds."""
+        return [to_usec(s) for s in self.samples_ns]
+
+    def tail_usec(self) -> Dict[float, float]:
+        """90/95/99/99.9th percentile latencies in µs (a Table 4 row)."""
+        return tail_summary(self.samples_usec)
+
+    def p999_usec(self) -> float:
+        """The 99.9th percentile latency in µs."""
+        return self.tail_usec()[99.9]
+
+    def mean_usec(self) -> float:
+        """Average latency in µs."""
+        return mean(self.samples_usec)
+
+    def cdf_usec(self) -> List[Tuple[float, float]]:
+        """Empirical CDF points in µs (a Figure 5 curve)."""
+        return cdf_points(self.samples_usec)
+
+    def slo_attainment(self, slo_usec: float) -> float:
+        """Fraction of requests at or below *slo_usec*."""
+        return fraction_below(self.samples_usec, slo_usec)
+
+    def meets_slo(self, slo_usec: float, quantile: float = 99.9) -> bool:
+        """True when the given percentile is within the SLO."""
+        return tail_summary(self.samples_usec)[quantile] <= slo_usec
+
+
+def merge_recorders(recorders: Sequence[LatencyRecorder], name: str = "merged") -> LatencyRecorder:
+    """Aggregate several recorders (Figure 5b merges 5 memcached VMs)."""
+    merged = LatencyRecorder(name=name)
+    for r in recorders:
+        merged.samples_ns.extend(r.samples_ns)
+    return merged

@@ -1,0 +1,83 @@
+"""Percentile and CDF math used across the evaluation.
+
+The paper reports 90th/95th/99th/99.9th percentile latencies (Table 4,
+Figure 5) and CDF curves.  We use the nearest-rank definition on the
+sorted sample, which is what latency-measurement tools like Mutilate
+report and is well-defined for the small-tail quantiles we care about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def _rank(p: float, n: int) -> int:
+    """Nearest-rank index with float-noise protection (ceil of p*n/100)."""
+    return max(1, math.ceil(p * n / 100.0 - 1e-9))
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of *samples* (p in (0, 100])."""
+    if not samples:
+        raise ValueError("percentile() of an empty sample")
+    if not 0 < p <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    ordered = sorted(samples)
+    return ordered[_rank(p, len(ordered)) - 1]
+
+
+def percentiles(samples: Sequence[float], ps: Sequence[float]) -> Dict[float, float]:
+    """Several percentiles computed over one sort of *samples*."""
+    if not samples:
+        raise ValueError("percentiles() of an empty sample")
+    ordered = sorted(samples)
+    out = {}
+    for p in ps:
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        out[p] = ordered[_rank(p, len(ordered)) - 1]
+    return out
+
+
+#: The tail percentiles Table 4 reports.
+TAIL_PERCENTILES = (90.0, 95.0, 99.0, 99.9)
+
+
+def tail_summary(samples: Sequence[float]) -> Dict[float, float]:
+    """90/95/99/99.9th percentiles, the row format of Table 4."""
+    return percentiles(samples, TAIL_PERCENTILES)
+
+
+def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative_fraction) points of the empirical CDF.
+
+    Duplicate values collapse to a single point carrying the highest
+    cumulative fraction, so the series is strictly increasing in x and
+    non-decreasing in y — directly plottable as Figure 5's curves.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for i, v in enumerate(ordered, start=1):
+        if points and points[-1][0] == v:
+            points[-1] = (v, i / n)
+        else:
+            points.append((v, i / n))
+    return points
+
+
+def fraction_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples <= threshold (SLO attainment)."""
+    if not samples:
+        raise ValueError("fraction_below() of an empty sample")
+    return sum(1 for s in samples if s <= threshold) / len(samples)
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean."""
+    if not samples:
+        raise ValueError("mean() of an empty sample")
+    return sum(samples) / len(samples)

@@ -1,0 +1,105 @@
+"""Statistical rigor helpers for reporting reproduction results.
+
+Miss ratios and tail percentiles from finite runs carry sampling error;
+these helpers quantify it so EXPERIMENTS.md-style claims ("0 misses in
+4,800 jobs") can be stated with confidence bounds, without external
+dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..simcore.rng import RandomSource
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Well-behaved at the extremes (0 misses observed still yields a
+    non-zero upper bound — the honest claim for "no misses in n jobs").
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    z = _z_value(confidence)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def miss_ratio_upper_bound(misses: int, jobs: int, confidence: float = 0.95) -> float:
+    """Upper confidence bound on the true miss ratio."""
+    return wilson_interval(misses, jobs, confidence)[1]
+
+
+def bootstrap_percentile_ci(
+    samples: Sequence[float],
+    p: float,
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Bootstrap confidence interval for the p-th percentile.
+
+    Deterministic given *seed*; used for the p99.9 figures where the
+    estimate rides on a handful of tail samples.
+    """
+    from .percentiles import percentile
+
+    if not samples:
+        raise ValueError("empty sample")
+    rng = RandomSource(seed, f"bootstrap:{p}:{len(samples)}")
+    n = len(samples)
+    estimates: List[float] = []
+    data = list(samples)
+    for _ in range(resamples):
+        resample = [data[rng.uniform_int(0, n - 1)] for _ in range(n)]
+        estimates.append(percentile(resample, p))
+    estimates.sort()
+    alpha = (1 - confidence) / 2
+    lo = estimates[max(0, int(alpha * resamples))]
+    hi = estimates[min(resamples - 1, int((1 - alpha) * resamples))]
+    return (lo, hi)
+
+
+def _z_value(confidence: float) -> float:
+    """Normal quantile for two-sided confidence (rational approximation)."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    # Acklam's inverse-normal approximation on the upper tail point.
+    p = 1 - (1 - confidence) / 2
+    a = [-39.6968302866538, 220.946098424521, -275.928510446969,
+         138.357751867269, -30.6647980661472, 2.50662827745924]
+    b = [-54.4760987982241, 161.585836858041, -155.698979859887,
+         66.8013118877197, -13.2806815528857]
+    c = [-0.00778489400243029, -0.322396458041136, -2.40075827716184,
+         -2.54973253934373, 4.37466414146497, 2.93816398269878]
+    d = [0.00778469570904146, 0.32246712907004, 2.445134137143,
+         3.75440866190742]
+    plow = 0.02425
+    if p < plow:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= 1 - plow:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )

@@ -1,0 +1,6 @@
+"""Usage monitoring and the idle-CPU tax (paper §6 extensions)."""
+
+from .tax import IdleCpuTax, TaxAssessment
+from .usage import UsageMonitor, UsageSample
+
+__all__ = ["UsageMonitor", "UsageSample", "IdleCpuTax", "TaxAssessment"]

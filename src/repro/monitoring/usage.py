@@ -1,0 +1,119 @@
+"""Per-VCPU usage monitoring (paper §6, the security discussion).
+
+The paper's mitigation for untrustworthy guests that over-claim CPU:
+*"the schedulers can monitor the applications'/VMs' actual CPU usages,
+and tax the applications/VMs if they claim more than what they need.
+The tax rate ... can be determined based on the observed idle CPU
+ratio."*
+
+:class:`UsageMonitor` samples granted-versus-consumed bandwidth for
+every RT VCPU over fixed windows; :mod:`repro.monitoring.tax` turns the
+observed idle ratios into grant deductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..guest.vcpu import VCPU
+from ..simcore.errors import ConfigurationError
+from ..simcore.events import PRIORITY_METRICS
+from ..simcore.time import SEC
+
+
+@dataclass
+class UsageSample:
+    """One monitoring window's observation for one VCPU."""
+
+    window_start: int
+    window_end: int
+    granted_bw: float
+    consumed_bw: float
+
+    @property
+    def idle_ratio(self) -> float:
+        """Fraction of the grant that went unused (0 when nothing granted)."""
+        if self.granted_bw <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.consumed_bw / self.granted_bw)
+
+
+class UsageMonitor:
+    """Samples each RT VCPU's granted vs consumed CPU bandwidth.
+
+    Attach to a running system; each window it compares the VCPU's
+    admitted bandwidth with the host scheduler's accounted occupancy
+    (collected through the machine's account() path).
+    """
+
+    def __init__(self, system, window_ns: int = SEC) -> None:
+        if window_ns <= 0:
+            raise ConfigurationError("window must be positive")
+        self.system = system
+        self.window_ns = window_ns
+        self.samples: Dict[int, List[UsageSample]] = {}  # vcpu uid -> samples
+        self._consumed: Dict[int, int] = {}
+        self._window_start = 0
+        self._original_account = None
+        self._started = False
+
+    def start(self) -> "UsageMonitor":
+        """Begin monitoring (hooks the host scheduler's accounting)."""
+        if self._started:
+            return self
+        self._started = True
+        scheduler = self.system.machine.host_scheduler
+        self._original_account = scheduler.account
+
+        def tapped(vcpu, pcpu_index, elapsed):
+            self._consumed[vcpu.uid] = self._consumed.get(vcpu.uid, 0) + elapsed
+            return self._original_account(vcpu, pcpu_index, elapsed)
+
+        scheduler.account = tapped
+        self._window_start = self.system.engine.now
+        self.system.engine.after(
+            self.window_ns, self._close_window, priority=PRIORITY_METRICS, name="usage-window"
+        )
+        return self
+
+    def _close_window(self) -> None:
+        self.system.machine.sync_all()
+        now = self.system.engine.now
+        window = now - self._window_start
+        for vm in self.system.vms:
+            for vcpu in vm.vcpus:
+                granted = float(vcpu.bandwidth)
+                if granted <= 0 and vcpu.uid not in self._consumed:
+                    continue
+                consumed = self._consumed.get(vcpu.uid, 0) / window
+                self.samples.setdefault(vcpu.uid, []).append(
+                    UsageSample(self._window_start, now, granted, consumed)
+                )
+        self._consumed.clear()
+        self._window_start = now
+        self.system.engine.after(
+            self.window_ns, self._close_window, priority=PRIORITY_METRICS, name="usage-window"
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def idle_ratio(self, vcpu: VCPU, windows: Optional[int] = None) -> float:
+        """Mean idle ratio of *vcpu* over the last *windows* samples."""
+        samples = self.samples.get(vcpu.uid, [])
+        if windows is not None:
+            samples = samples[-windows:]
+        if not samples:
+            return 0.0
+        return sum(s.idle_ratio for s in samples) / len(samples)
+
+    def over_claimers(self, threshold: float = 0.5) -> List[int]:
+        """VCPU uids whose average idle ratio exceeds *threshold*."""
+        return sorted(
+            uid
+            for uid in self.samples
+            if self.samples[uid]
+            and sum(s.idle_ratio for s in self.samples[uid]) / len(self.samples[uid])
+            > threshold
+        )

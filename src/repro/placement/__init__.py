@@ -1,0 +1,21 @@
+"""Multi-host placement and live-migration costing (paper §6 extensions)."""
+
+from .cluster import ClusterPlanner, HostDescriptor, VMDemand
+from .migration import (
+    MigrationEstimate,
+    MigrationParams,
+    estimate_migration,
+    migration_safe_for,
+    plan_rebalancing,
+)
+
+__all__ = [
+    "VMDemand",
+    "HostDescriptor",
+    "ClusterPlanner",
+    "MigrationParams",
+    "MigrationEstimate",
+    "estimate_migration",
+    "migration_safe_for",
+    "plan_rebalancing",
+]

@@ -1,0 +1,191 @@
+"""Multi-host VM placement (paper §6).
+
+*"Considering the availability of multiple hosts, RTVirt's VM admission
+and scheduling process can be extended to optimize the placement of VMs
+across different hosts, in addition to the placement of VCPUs across
+different PCPUs on a single host."*
+
+This module plans RT-VM placement over a cluster of RTVirt hosts using
+the same exact-utilization admission each host enforces locally.  The
+planner is analytical (it reasons over bandwidth demands); committed
+placements can then be instantiated as per-host
+:class:`~repro.core.system.RTVirtSystem` instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..simcore.errors import AdmissionError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class VMDemand:
+    """A VM's aggregate RT bandwidth demand (sum of its VCPU grants)."""
+
+    name: str
+    bandwidth: Fraction
+
+    def __post_init__(self) -> None:
+        if self.bandwidth < 0:
+            raise ConfigurationError(f"{self.name}: negative bandwidth demand")
+
+
+@dataclass
+class HostDescriptor:
+    """One RTVirt host's capacity for placement planning."""
+
+    name: str
+    pcpu_count: int
+    background_reserve: Fraction = Fraction(0)
+    placed: List[VMDemand] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.pcpu_count < 1:
+            raise ConfigurationError(f"{self.name}: needs at least one PCPU")
+        if not 0 <= self.background_reserve < self.pcpu_count:
+            raise ConfigurationError(f"{self.name}: invalid background reserve")
+
+    @property
+    def capacity(self) -> Fraction:
+        return Fraction(self.pcpu_count) - self.background_reserve
+
+    @property
+    def load(self) -> Fraction:
+        return sum((vm.bandwidth for vm in self.placed), Fraction(0))
+
+    @property
+    def headroom(self) -> Fraction:
+        return self.capacity - self.load
+
+    def fits(self, vm: VMDemand) -> bool:
+        return vm.bandwidth <= self.headroom
+
+
+class ClusterPlanner:
+    """Plans and tracks RT-VM placement across hosts.
+
+    Policies:
+
+    - ``worst_fit`` (default): place on the host with the most headroom,
+      spreading load so later dynamic increases (INC_BW) are likely to be
+      admitted locally without cross-host migration;
+    - ``first_fit``: pack hosts in order, minimizing the number of hosts
+      powered on;
+    - ``best_fit``: tightest feasible host, leaving large contiguous
+      headroom elsewhere.
+    """
+
+    POLICIES = ("worst_fit", "first_fit", "best_fit")
+
+    def __init__(self, hosts: Sequence[HostDescriptor], policy: str = "worst_fit") -> None:
+        if not hosts:
+            raise ConfigurationError("a cluster needs at least one host")
+        if policy not in self.POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; choose from {self.POLICIES}"
+            )
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("host names must be unique")
+        self.hosts = list(hosts)
+        self.policy = policy
+        self.assignments: Dict[str, str] = {}  # vm name -> host name
+
+    # -- placement ----------------------------------------------------------------
+
+    def _candidate(self, vm: VMDemand) -> Optional[HostDescriptor]:
+        feasible = [h for h in self.hosts if h.fits(vm)]
+        if not feasible:
+            return None
+        if self.policy == "worst_fit":
+            return max(feasible, key=lambda h: (h.headroom, -self.hosts.index(h)))
+        if self.policy == "best_fit":
+            return min(feasible, key=lambda h: (h.headroom, self.hosts.index(h)))
+        return feasible[0]  # first_fit
+
+    def place(self, vm: VMDemand) -> HostDescriptor:
+        """Place one VM; raises :class:`AdmissionError` when nothing fits."""
+        if vm.name in self.assignments:
+            raise ConfigurationError(f"VM {vm.name} is already placed")
+        host = self._candidate(vm)
+        if host is None:
+            raise AdmissionError(
+                f"no host can admit {vm.name} "
+                f"(demand {float(vm.bandwidth):.3f} CPUs)",
+                level="host",
+            )
+        host.placed.append(vm)
+        self.assignments[vm.name] = host.name
+        return host
+
+    def place_all(self, vms: Sequence[VMDemand]) -> Dict[str, str]:
+        """Place a batch (largest demand first); all-or-nothing."""
+        ordered = sorted(vms, key=lambda v: (-v.bandwidth, v.name))
+        placed: List[VMDemand] = []
+        try:
+            for vm in ordered:
+                self.place(vm)
+                placed.append(vm)
+        except AdmissionError:
+            for vm in placed:
+                self.remove(vm.name)
+            raise
+        return {vm.name: self.assignments[vm.name] for vm in vms}
+
+    def remove(self, vm_name: str) -> None:
+        """A VM left the cluster; release its bandwidth."""
+        host_name = self.assignments.pop(vm_name, None)
+        if host_name is None:
+            raise ConfigurationError(f"VM {vm_name} is not placed")
+        host = self.host(host_name)
+        host.placed = [vm for vm in host.placed if vm.name != vm_name]
+
+    def host(self, name: str) -> HostDescriptor:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise ConfigurationError(f"unknown host {name}")
+
+    def host_of(self, vm_name: str) -> HostDescriptor:
+        return self.host(self.assignments[vm_name])
+
+    # -- dynamic changes ---------------------------------------------------------------
+
+    def grow(self, vm_name: str, new_bandwidth: Fraction) -> Tuple[HostDescriptor, bool]:
+        """A VM's demand increased (its guest issued INC_BW).
+
+        Returns (host, migrated): admitted in place when the current host
+        has headroom, otherwise moved to a feasible host (a live
+        migration the caller must cost — see
+        :mod:`repro.placement.migration`).  Raises when no host fits.
+        """
+        host = self.host_of(vm_name)
+        current = next(vm for vm in host.placed if vm.name == vm_name)
+        delta = new_bandwidth - current.bandwidth
+        updated = VMDemand(vm_name, new_bandwidth)
+        if delta <= host.headroom:
+            host.placed[host.placed.index(current)] = updated
+            return host, False
+        self.remove(vm_name)
+        try:
+            new_host = self.place(updated)
+        except AdmissionError:
+            # Roll back to the original placement.
+            self.host(host.name).placed.append(current)
+            self.assignments[vm_name] = host.name
+            raise
+        return new_host, True
+
+    # -- reporting ------------------------------------------------------------------------
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-host load as a fraction of capacity."""
+        return {h.name: float(h.load / h.capacity) if h.capacity else 0.0 for h in self.hosts}
+
+    def imbalance(self) -> float:
+        """Max minus min host utilization (0 = perfectly balanced)."""
+        values = list(self.utilization().values())
+        return max(values) - min(values)

@@ -1,0 +1,134 @@
+"""Live-migration cost modelling (paper §6).
+
+*"Live VM migration can be considered to dynamically adjust VM
+placement at runtime, but its overhead must be properly accounted
+for"* — citing Wu & Zhao's performance model of pre-copy live
+migration.  This module implements that model's standard form: iterative
+pre-copy rounds whose volume shrinks geometrically with the ratio of
+page-dirty rate to network bandwidth, followed by a stop-and-copy round
+that determines the downtime.
+
+The planner uses it to decide whether a rebalancing migration is safe
+for a time-sensitive VM: the stop-and-copy downtime must fit inside the
+VM's worst-case deadline slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..simcore.errors import ConfigurationError
+from ..simcore.time import SEC
+
+
+@dataclass(frozen=True)
+class MigrationParams:
+    """Inputs of the pre-copy model."""
+
+    memory_bytes: int
+    dirty_rate_bytes_per_s: int
+    link_bytes_per_s: int
+    max_rounds: int = 30
+    stop_threshold_bytes: int = 64 * 1024 * 1024  # stop-copy when this small
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0 or self.link_bytes_per_s <= 0:
+            raise ConfigurationError("memory size and link bandwidth must be positive")
+        if self.dirty_rate_bytes_per_s < 0:
+            raise ConfigurationError("dirty rate must be non-negative")
+        if self.dirty_rate_bytes_per_s >= self.link_bytes_per_s:
+            raise ConfigurationError(
+                "pre-copy cannot converge: dirty rate >= link bandwidth"
+            )
+
+
+@dataclass(frozen=True)
+class MigrationEstimate:
+    """Predicted cost of one live migration."""
+
+    total_duration_ns: int
+    downtime_ns: int
+    rounds: int
+    transferred_bytes: int
+
+
+def estimate_migration(params: MigrationParams) -> MigrationEstimate:
+    """Pre-copy rounds until the residual dirty set is small, then stop-copy."""
+    remaining = params.memory_bytes
+    transferred = 0
+    duration_s = 0.0
+    rounds = 0
+    ratio = params.dirty_rate_bytes_per_s / params.link_bytes_per_s
+    while rounds < params.max_rounds and remaining > params.stop_threshold_bytes:
+        round_time = remaining / params.link_bytes_per_s
+        transferred += remaining
+        duration_s += round_time
+        remaining = int(remaining * ratio)
+        rounds += 1
+        if ratio == 0:
+            remaining = 0
+            break
+    downtime_s = remaining / params.link_bytes_per_s
+    transferred += remaining
+    duration_s += downtime_s
+    return MigrationEstimate(
+        total_duration_ns=round(duration_s * SEC),
+        downtime_ns=round(downtime_s * SEC),
+        rounds=rounds + 1,
+        transferred_bytes=transferred,
+    )
+
+
+def migration_safe_for(
+    estimate: MigrationEstimate, slice_ns: int, period_ns: int
+) -> bool:
+    """Can a (slice, period) RT VM survive the stop-and-copy downtime?
+
+    Conservative criterion: the downtime must fit in the VM's per-period
+    slack (period − slice), so a job released just before the blackout
+    can still finish by its deadline.
+    """
+    if period_ns <= 0 or slice_ns < 0:
+        raise ConfigurationError("invalid VM parameters")
+    return estimate.downtime_ns <= period_ns - slice_ns
+
+
+def plan_rebalancing(
+    planner,
+    params: MigrationParams,
+    target_imbalance: float = 0.2,
+) -> List[str]:
+    """Propose migrations reducing cluster imbalance below the target.
+
+    Greedy: repeatedly move the smallest migration-safe VM from the most
+    loaded host to the least loaded, while that improves imbalance.
+    Returns the names of VMs to migrate, in order.  Only the *proposal*
+    is computed; executing the migrations is the operator's call.
+    """
+    proposals: List[str] = []
+    estimate = estimate_migration(params)
+    for _ in range(32):  # safety bound
+        if planner.imbalance() <= target_imbalance:
+            break
+        utilization = planner.utilization()
+        source = planner.host(max(utilization, key=utilization.get))
+        sink = planner.host(min(utilization, key=utilization.get))
+        movable = sorted(
+            (vm for vm in source.placed if sink.fits(vm)),
+            key=lambda vm: vm.bandwidth,
+        )
+        if not movable:
+            break
+        vm = movable[0]
+        before = planner.imbalance()
+        planner.remove(vm.name)
+        sink.placed.append(vm)
+        planner.assignments[vm.name] = sink.name
+        if planner.imbalance() >= before:  # no improvement: undo and stop
+            planner.remove(vm.name)
+            source.placed.append(vm)
+            planner.assignments[vm.name] = source.name
+            break
+        proposals.append(vm.name)
+    return proposals

@@ -1,0 +1,93 @@
+"""Trace export to the Chrome tracing (Perfetto) JSON format.
+
+Any captured :class:`~repro.simcore.trace.Trace` can be dumped to a
+``.json`` loadable in ``chrome://tracing`` / https://ui.perfetto.dev:
+PCPUs become rows, execution segments become duration events coloured
+by VM, and point events (switches, migrations, completions) become
+instant events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..simcore.errors import ConfigurationError
+from ..simcore.trace import Trace
+
+
+def trace_to_chrome_events(trace: Trace, process_name: str = "host") -> List[Dict]:
+    """Convert a trace to chrome-tracing event dicts (times in µs)."""
+    events: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    pcpus = sorted({s.pcpu for s in trace.segments})
+    for pcpu in pcpus:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": pcpu,
+                "args": {"name": f"pcpu{pcpu}"},
+            }
+        )
+    for segment in trace.segments:
+        events.append(
+            {
+                "name": segment.task or segment.vcpu,
+                "cat": segment.vcpu.split(".")[0],
+                "ph": "X",
+                "pid": 0,
+                "tid": segment.pcpu,
+                "ts": segment.start / 1_000.0,
+                "dur": segment.duration / 1_000.0,
+                "args": {"vcpu": segment.vcpu},
+            }
+        )
+    for event in trace.events:
+        if event.kind == "switch":
+            pcpu, vcpu, migrated = event.detail
+            events.append(
+                {
+                    "name": "migration" if migrated else "switch",
+                    "cat": "sched",
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": pcpu,
+                    "ts": event.time / 1_000.0,
+                    "s": "t",
+                    "args": {"vcpu": vcpu},
+                }
+            )
+        elif event.kind == "complete":
+            events.append(
+                {
+                    "name": f"complete:{event.detail[0]}",
+                    "cat": "jobs",
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": event.time / 1_000.0,
+                    "s": "g",
+                    "args": {"job": event.detail[1]},
+                }
+            )
+    return events
+
+
+def export_chrome_trace(
+    trace: Trace, path: str, process_name: str = "host"
+) -> int:
+    """Write the trace to *path*; returns the number of events written."""
+    if not path.endswith(".json"):
+        raise ConfigurationError("chrome traces are .json files")
+    events = trace_to_chrome_events(trace, process_name)
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+    return len(events)

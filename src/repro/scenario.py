@@ -1,0 +1,194 @@
+"""Declarative scenario runner.
+
+Describes a whole experiment — host, scheduler, VMs, tasks, workloads —
+as a plain JSON-compatible dict, so setups can be versioned, shared and
+run from the CLI without writing Python:
+
+    {
+      "system": {"type": "rtvirt", "pcpus": 2, "slack_us": 500},
+      "duration_s": 10,
+      "seed": 42,
+      "vms": [
+        {"name": "vm1",
+         "tasks": [{"name": "rta1", "slice_ms": 5, "period_ms": 20}]},
+        {"name": "spvm",
+         "tasks": [{"name": "sp1", "slice_ms": 2, "period_ms": 50,
+                    "kind": "sporadic", "max_requests": 40}]},
+        {"name": "bg1", "background": true}
+      ]
+    }
+
+System types: ``rtvirt`` (default), ``credit``, ``rtxen`` (RT-Xen VMs
+need an ``interface_us: [budget, period]`` or get one from CSA).
+
+Run from the shell:  ``python -m repro scenario my_setup.json``
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .analysis.csa import csa_best_interface
+from .analysis.dbf import AnalysisTask
+from .baselines.credit import CreditSystem
+from .baselines.rtxen import RTXenSystem
+from .core.system import RTVirtSystem
+from .guest.task import Task, TaskKind
+from .metrics.deadlines import MissReport, collect_miss_report
+from .simcore.errors import ConfigurationError
+from .simcore.rng import RandomStreams
+from .simcore.time import MSEC, SEC, USEC, msec, sec, usec
+from .workloads.periodic import PeriodicDriver
+from .workloads.sporadic import SporadicDriver
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    name: str
+    duration_ns: int
+    report: MissReport
+    system: Any = field(repr=False, default=None)
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario {self.name!r}: {self.duration_ns / SEC:g}s simulated",
+            f"  jobs released: {self.report.total_released}",
+            f"  deadlines met: {self.report.total_met}",
+            f"  deadlines missed: {self.report.total_missed} "
+            f"({self.report.overall_miss_ratio * 100:.3f}%)",
+        ]
+        for task_name in self.report.tasks_with_misses:
+            stats = self.report.per_task[task_name]
+            lines.append(
+                f"    {task_name}: {stats.missed} misses "
+                f"({stats.miss_ratio * 100:.2f}%)"
+            )
+        return "\n".join(lines)
+
+
+def _require(mapping: Dict, key: str, context: str):
+    if key not in mapping:
+        raise ConfigurationError(f"scenario {context}: missing {key!r}")
+    return mapping[key]
+
+
+def _build_system(spec: Dict[str, Any]):
+    system_spec = dict(spec.get("system", {}))
+    kind = system_spec.pop("type", "rtvirt")
+    pcpus = int(system_spec.pop("pcpus", 1))
+    if kind == "rtvirt":
+        slack = usec(system_spec.pop("slack_us", 500))
+        min_slice = usec(system_spec.pop("min_global_slice_us", 250))
+        return RTVirtSystem(
+            pcpu_count=pcpus, slack_ns=slack, min_global_slice_ns=min_slice
+        )
+    if kind == "credit":
+        return CreditSystem(
+            pcpu_count=pcpus,
+            timeslice_ns=usec(system_spec.pop("timeslice_us", 30_000)),
+            ratelimit_ns=usec(system_spec.pop("ratelimit_us", 1_000)),
+        )
+    if kind == "rtxen":
+        return RTXenSystem(pcpu_count=pcpus)
+    raise ConfigurationError(f"unknown system type {kind!r}")
+
+
+def _task_from_spec(task_spec: Dict[str, Any]) -> Task:
+    name = _require(task_spec, "name", "task")
+    kind = TaskKind(task_spec.get("kind", "periodic"))
+    return Task(
+        name,
+        msec(_require(task_spec, "slice_ms", name)),
+        msec(_require(task_spec, "period_ms", name)),
+        kind,
+    )
+
+
+def _rtxen_interface(vm_spec: Dict[str, Any], tasks: List[Task]):
+    explicit = vm_spec.get("interface_us")
+    if explicit is not None:
+        return usec(explicit[0]), usec(explicit[1])
+    analysis = [AnalysisTask(t.slice_ns, t.period_ns) for t in tasks]
+    iface = csa_best_interface(analysis, min_period=MSEC)
+    return iface.budget, iface.period
+
+
+def run_scenario(spec: Dict[str, Any], name: str = "scenario") -> ScenarioResult:
+    """Build and run the scenario described by *spec*."""
+    duration_ns = sec(spec.get("duration_s", 10))
+    streams = RandomStreams(int(spec.get("seed", 0)))
+    system = _build_system(spec)
+    system_kind = spec.get("system", {}).get("type", "rtvirt")
+    all_tasks: List[Task] = []
+
+    for vm_spec in spec.get("vms", []):
+        vm_name = _require(vm_spec, "name", "vm")
+        if vm_spec.get("background"):
+            system.create_background_vm(
+                vm_name, processes=int(vm_spec.get("processes", 1))
+            )
+            continue
+        tasks = [_task_from_spec(t) for t in vm_spec.get("tasks", [])]
+        if system_kind == "rtvirt":
+            vm = system.create_vm(
+                vm_name,
+                vcpu_count=int(vm_spec.get("vcpus", 1)),
+                max_vcpus=vm_spec.get("max_vcpus"),
+                slack_ns=(
+                    usec(vm_spec["slack_us"]) if "slack_us" in vm_spec else None
+                ),
+            )
+            for task in tasks:
+                vm.register_task(task)
+        elif system_kind == "rtxen":
+            budget, period = _rtxen_interface(vm_spec, tasks)
+            vm = system.create_vm(vm_name, interfaces=[(budget, period)])
+            for task in tasks:
+                system.register_rta(vm, task)
+        else:  # credit
+            vm = system.create_vm(vm_name, weight=int(vm_spec.get("weight", 256)))
+            for task in tasks:
+                vm.register_task(task)
+        for task, task_spec in zip(tasks, vm_spec.get("tasks", [])):
+            all_tasks.append(task)
+            if task.kind is TaskKind.SPORADIC:
+                SporadicDriver(
+                    system.engine,
+                    vm,
+                    task,
+                    streams.stream(f"{vm_name}.{task.name}"),
+                    min_interarrival_ns=msec(
+                        task_spec.get("min_interarrival_ms", 100)
+                    ),
+                    max_interarrival_ns=msec(
+                        task_spec.get("max_interarrival_ms", 1000)
+                    ),
+                    max_requests=task_spec.get("max_requests"),
+                ).start()
+            else:
+                PeriodicDriver(
+                    system.engine,
+                    vm,
+                    task,
+                    phase_ns=msec(task_spec.get("phase_ms", 0)),
+                ).start()
+
+    system.run(duration_ns)
+    system.finalize()
+    return ScenarioResult(
+        name=name,
+        duration_ns=duration_ns,
+        report=collect_miss_report(all_tasks),
+        system=system,
+    )
+
+
+def run_scenario_file(path: str) -> ScenarioResult:
+    """Load a JSON scenario file and run it."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    return run_scenario(spec, name=path)

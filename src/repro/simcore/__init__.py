@@ -1,0 +1,84 @@
+"""Deterministic discrete-event simulation core.
+
+Public surface:
+
+- :class:`Engine` — the event loop and clock
+- :class:`Event`, :class:`EventQueue` — scheduling primitives
+- :class:`RandomStreams`, :class:`RandomSource` — reproducible randomness
+- :class:`Trace` — structured execution tracing
+- time helpers (:func:`usec`, :func:`msec`, :func:`sec`, ...)
+"""
+
+from .engine import Engine
+from .errors import (
+    AdmissionError,
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from .events import (
+    PRIORITY_BUDGET,
+    PRIORITY_COMPLETION,
+    PRIORITY_DEFAULT,
+    PRIORITY_METRICS,
+    PRIORITY_RELEASE,
+    PRIORITY_SCHEDULE,
+    Event,
+    EventQueue,
+)
+from .rng import RandomSource, RandomStreams
+from .time import (
+    MSEC,
+    NSEC,
+    SEC,
+    USEC,
+    bandwidth,
+    format_time,
+    msec,
+    nsec,
+    sec,
+    to_msec,
+    to_sec,
+    to_usec,
+    usec,
+)
+from .trace import NullTrace, Segment, Trace, TraceEvent
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventQueue",
+    "RandomSource",
+    "RandomStreams",
+    "Trace",
+    "NullTrace",
+    "Segment",
+    "TraceEvent",
+    "ReproError",
+    "SimulationError",
+    "SchedulingError",
+    "AdmissionError",
+    "ConfigurationError",
+    "AnalysisError",
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "nsec",
+    "usec",
+    "msec",
+    "sec",
+    "to_usec",
+    "to_msec",
+    "to_sec",
+    "format_time",
+    "bandwidth",
+    "PRIORITY_RELEASE",
+    "PRIORITY_COMPLETION",
+    "PRIORITY_BUDGET",
+    "PRIORITY_SCHEDULE",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_METRICS",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro simulation stack.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch simulation-level failures
+without swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler violated one of its internal invariants."""
+
+
+class AdmissionError(ReproError):
+    """An admission-control request was rejected.
+
+    Carries enough context for callers to distinguish guest-level from
+    host-level rejections.
+    """
+
+    def __init__(self, message: str, *, level: str = "host") -> None:
+        super().__init__(message)
+        self.level = level
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""
+
+
+class AnalysisError(ReproError):
+    """A real-time analysis routine could not produce a valid result."""

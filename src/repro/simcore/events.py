@@ -1,0 +1,140 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at an absolute simulated time.
+Events are totally ordered by ``(time, priority, sequence)``: ties at the
+same instant break first on an explicit priority (smaller runs first) and
+then on insertion order, which keeps the simulation deterministic.
+
+Cancellation is lazy: :meth:`EventQueue.cancel` marks the event and the
+queue discards it when it reaches the top of the heap.  This is the usual
+O(log n) heap discipline without the cost of re-heapifying on cancel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .errors import SimulationError
+
+# Well-known priorities.  Work synchronization (charging elapsed CPU time)
+# conceptually happens before any state change at an instant, scheduler
+# decisions happen after releases/completions have been observed.
+PRIORITY_RELEASE = 0
+PRIORITY_COMPLETION = 10
+PRIORITY_BUDGET = 20
+PRIORITY_SCHEDULE = 30
+PRIORITY_DEFAULT = 50
+PRIORITY_METRICS = 90
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created through :meth:`EventQueue.push` (or the engine's
+    ``schedule_*`` helpers) rather than directly.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: int,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name or getattr(callback, "__name__", "event")
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending and not cancelled."""
+        return not self.cancelled
+
+    def _key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.name} t={self.time} prio={self.priority} {state}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_DEFAULT,
+        name: str = "",
+    ) -> Event:
+        """Schedule *callback(\\*args)* at absolute *time* and return the event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = Event(time, priority, self._seq, callback, args, name)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`SimulationError` when the queue is empty.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

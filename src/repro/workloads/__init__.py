@@ -1,0 +1,49 @@
+"""Workload generators: periodic (rt-app), sporadic, video, memcached, background."""
+
+from .background import add_background_vms
+from .memcached import (
+    MEMCACHED_PERIOD_NS,
+    MEMCACHED_SLICE_NS,
+    MemcachedService,
+)
+from .periodic import TABLE1_GROUPS, TABLE5_GROUPS, PeriodicDriver, RTASpec, build_group_vms
+from .rtapp import (
+    RTAppConfig,
+    RTAppTask,
+    deploy_rtapp,
+    load_rtapp_file,
+    parse_rtapp_config,
+    table1_group_as_rtapp,
+)
+from .sporadic import SporadicDriver
+from .video import (
+    TABLE3_PROFILES,
+    DynamicStreamingWorkload,
+    SessionRecord,
+    StreamingSession,
+    StreamProfile,
+)
+
+__all__ = [
+    "RTASpec",
+    "TABLE1_GROUPS",
+    "TABLE5_GROUPS",
+    "PeriodicDriver",
+    "build_group_vms",
+    "SporadicDriver",
+    "StreamProfile",
+    "TABLE3_PROFILES",
+    "StreamingSession",
+    "DynamicStreamingWorkload",
+    "SessionRecord",
+    "MemcachedService",
+    "MEMCACHED_PERIOD_NS",
+    "MEMCACHED_SLICE_NS",
+    "add_background_vms",
+    "RTAppConfig",
+    "RTAppTask",
+    "parse_rtapp_config",
+    "load_rtapp_file",
+    "deploy_rtapp",
+    "table1_group_as_rtapp",
+]

@@ -1,0 +1,24 @@
+"""Non-RTA background workloads.
+
+The Figure 5a contention experiment runs the memcached VM "alongside 19
+VMs containing non-RTA CPU-bound processes"; these helpers build such
+populations for any of the three systems.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..guest.vm import VM
+
+
+def add_background_vms(system, count: int, prefix: str = "bg", **kwargs) -> List[VM]:
+    """Create *count* CPU-bound non-RTA VMs on *system*.
+
+    Works with any system exposing ``create_background_vm`` (RTVirt,
+    RT-Xen, Credit); extra keyword arguments (e.g. Credit weights) are
+    forwarded.
+    """
+    return [
+        system.create_background_vm(f"{prefix}{i + 1}", **kwargs) for i in range(count)
+    ]

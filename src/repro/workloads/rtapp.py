@@ -1,0 +1,174 @@
+"""rt-app configuration loader.
+
+The paper generates its periodic RTAs with `rt-app`, which is driven by
+JSON configuration files of the form::
+
+    {
+      "tasks": {
+        "thread0": {"policy": "SCHED_DEADLINE",
+                     "runtime": 13000, "period": 20000, "deadline": 20000},
+        "thread1": {"policy": "SCHED_DEADLINE",
+                     "runtime": 25000, "period": 40000, "delay": 5000}
+      },
+      "global": {"duration": 10}
+    }
+
+(times in microseconds, duration in seconds — rt-app's conventions).
+This loader accepts that shape, so real rt-app configs can be replayed
+against the simulator: each task becomes an RTA registered through the
+``sched_setattr`` path and driven periodically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..guest.task import Task, TaskKind
+from ..guest.vm import VM
+from ..simcore.errors import ConfigurationError
+from ..simcore.time import SEC, sec, usec
+from .periodic import PeriodicDriver
+from .sporadic import SporadicDriver
+
+SUPPORTED_POLICIES = ("SCHED_DEADLINE", "SCHED_FIFO", "SCHED_RR")
+
+
+@dataclass(frozen=True)
+class RTAppTask:
+    """One thread of an rt-app configuration."""
+
+    name: str
+    runtime_us: int
+    period_us: int
+    deadline_us: int
+    delay_us: int = 0
+    sporadic: bool = False
+
+    @property
+    def runtime_ns(self) -> int:
+        return usec(self.runtime_us)
+
+    @property
+    def period_ns(self) -> int:
+        return usec(self.period_us)
+
+
+@dataclass(frozen=True)
+class RTAppConfig:
+    """A parsed rt-app configuration."""
+
+    tasks: List[RTAppTask]
+    duration_s: float
+
+    @property
+    def duration_ns(self) -> int:
+        return round(self.duration_s * SEC)
+
+    @property
+    def total_utilization(self) -> float:
+        return sum(t.runtime_us / t.period_us for t in self.tasks)
+
+
+def parse_rtapp_config(config: Dict[str, Any]) -> RTAppConfig:
+    """Parse an rt-app JSON dict into an :class:`RTAppConfig`.
+
+    Accepts the fields the paper's workloads use; unknown per-task keys
+    are ignored (rt-app has many), but structural problems raise.
+    """
+    tasks_section = config.get("tasks")
+    if not isinstance(tasks_section, dict) or not tasks_section:
+        raise ConfigurationError("rt-app config needs a non-empty 'tasks' object")
+    tasks: List[RTAppTask] = []
+    for name, body in tasks_section.items():
+        if not isinstance(body, dict):
+            raise ConfigurationError(f"rt-app task {name!r}: not an object")
+        policy = body.get("policy", "SCHED_DEADLINE")
+        if policy not in SUPPORTED_POLICIES:
+            raise ConfigurationError(
+                f"rt-app task {name!r}: unsupported policy {policy!r}"
+            )
+        runtime = body.get("runtime")
+        period = body.get("period")
+        if runtime is None or period is None:
+            raise ConfigurationError(
+                f"rt-app task {name!r}: needs 'runtime' and 'period' (µs)"
+            )
+        if runtime <= 0 or period <= 0 or runtime > period:
+            raise ConfigurationError(
+                f"rt-app task {name!r}: invalid runtime/period ({runtime}, {period})"
+            )
+        deadline = body.get("deadline", period)
+        tasks.append(
+            RTAppTask(
+                name=name,
+                runtime_us=int(runtime),
+                period_us=int(period),
+                deadline_us=int(deadline),
+                delay_us=int(body.get("delay", 0)),
+                sporadic=bool(body.get("sporadic", False)),
+            )
+        )
+    global_section = config.get("global", {})
+    duration = float(global_section.get("duration", 10))
+    if duration <= 0:
+        raise ConfigurationError("rt-app duration must be positive")
+    return RTAppConfig(tasks=tasks, duration_s=duration)
+
+
+def load_rtapp_file(path: str) -> RTAppConfig:
+    """Parse an rt-app JSON file."""
+    with open(path) as handle:
+        return parse_rtapp_config(json.load(handle))
+
+
+def deploy_rtapp(
+    config: RTAppConfig,
+    vm: VM,
+    rng=None,
+) -> List[Task]:
+    """Register and drive *config*'s threads inside *vm*.
+
+    Returns the created tasks; the VM must already be attached to a
+    system (its engine schedules the drivers).  Sporadic threads need
+    *rng* (a :class:`~repro.simcore.rng.RandomSource`).
+    """
+    if vm.machine is None:
+        raise ConfigurationError("attach the VM to a system before deploying rt-app")
+    engine = vm.machine.engine
+    created: List[Task] = []
+    for spec in config.tasks:
+        kind = TaskKind.SPORADIC if spec.sporadic else TaskKind.PERIODIC
+        task = Task(spec.name, spec.runtime_ns, spec.period_ns, kind)
+        vm.register_task(task)
+        created.append(task)
+        until = engine.now + config.duration_ns
+        if spec.sporadic:
+            if rng is None:
+                raise ConfigurationError(
+                    f"sporadic rt-app task {spec.name!r} needs an rng"
+                )
+            SporadicDriver(engine, vm, task, rng).start()
+        else:
+            PeriodicDriver(
+                engine, vm, task, phase_ns=usec(spec.delay_us), until=until
+            ).start()
+    return created
+
+
+def table1_group_as_rtapp(group: str) -> Dict[str, Any]:
+    """Render a Table 1 group as an rt-app JSON config (round-trip aid)."""
+    from .periodic import TABLE1_GROUPS
+
+    if group not in TABLE1_GROUPS:
+        raise ConfigurationError(f"unknown Table 1 group {group!r}")
+    tasks = {}
+    for i, spec in enumerate(TABLE1_GROUPS[group]):
+        tasks[f"thread{i}"] = {
+            "policy": "SCHED_DEADLINE",
+            "runtime": round(spec.slice_ms * 1000),
+            "period": round(spec.period_ms * 1000),
+            "deadline": round(spec.period_ms * 1000),
+        }
+    return {"tasks": tasks, "global": {"duration": 100}}

@@ -1,0 +1,92 @@
+"""Unit tests for the CSA interface search (the CARTS substitute)."""
+
+import pytest
+
+from repro.analysis.csa import (
+    csa_best_interface,
+    csa_interface,
+    default_period_candidates,
+    is_schedulable,
+)
+from repro.analysis.dbf import AnalysisTask
+from repro.analysis.sbf import PeriodicResource
+from repro.simcore.errors import AnalysisError
+from repro.simcore.time import msec, usec
+
+
+class TestSchedulability:
+    def test_dedicated_cpu_schedules_feasible_set(self):
+        tasks = [AnalysisTask(msec(2), msec(10))]
+        assert is_schedulable(tasks, PeriodicResource(msec(10), msec(10)))
+
+    def test_insufficient_budget_fails(self):
+        tasks = [AnalysisTask(msec(5), msec(10))]
+        assert not is_schedulable(tasks, PeriodicResource(msec(10), msec(4)))
+
+    def test_utilization_bound_prunes(self):
+        tasks = [AnalysisTask(msec(9), msec(10))]
+        assert not is_schedulable(tasks, PeriodicResource(msec(1), int(msec(1) * 0.8)))
+
+    def test_empty_set_schedulable(self):
+        assert is_schedulable([], PeriodicResource(msec(1), 0))
+
+
+class TestInterface:
+    def test_table2_nh_dec_values(self):
+        # The paper's published CARTS outputs for NH-Dec (Table 2).
+        cases = [
+            ((23, 30), (4, 5)),
+            ((13, 20), (3, 4)),
+            ((5, 10), (2, 3)),
+            ((10, 100), (1, 9)),
+        ]
+        for (s, p), (theta, pi) in cases:
+            best = csa_best_interface(
+                [AnalysisTask(msec(s), msec(p))], min_period=msec(1)
+            )
+            assert best.budget == msec(theta), f"task ({s},{p})"
+            assert best.period == msec(pi), f"task ({s},{p})"
+
+    def test_interface_always_pessimistic(self):
+        task = AnalysisTask(msec(13), msec(20))
+        best = csa_best_interface([task], min_period=msec(1))
+        assert best.bandwidth >= task.utilization
+
+    def test_minimal_budget_at_period(self):
+        task = AnalysisTask(msec(23), msec(30))
+        iface = csa_interface([task], msec(5), budget_granularity=msec(1))
+        assert iface.budget == msec(4)
+        # One ms less must not be schedulable.
+        assert not is_schedulable([task], PeriodicResource(msec(5), msec(3)))
+
+    def test_infeasible_set_raises(self):
+        tasks = [AnalysisTask(msec(8), msec(10)), AnalysisTask(msec(8), msec(10))]
+        with pytest.raises(AnalysisError):
+            csa_interface(tasks, msec(5))
+
+    def test_empty_tasks_zero_budget(self):
+        assert csa_interface([], msec(5)).budget == 0
+
+    def test_min_period_respected(self):
+        task = AnalysisTask(usec(58), usec(500))
+        best = csa_best_interface(
+            [task], min_period=usec(100), budget_granularity=usec(1)
+        )
+        assert best.period >= usec(100)
+
+    def test_best_improves_or_matches_single_query(self):
+        task = AnalysisTask(msec(13), msec(20))
+        single = csa_interface([task], msec(4), budget_granularity=msec(1))
+        best = csa_best_interface([task], min_period=msec(1))
+        assert best.bandwidth <= single.bandwidth + 1e-12
+
+
+class TestCandidates:
+    def test_ms_granularity_for_ms_tasks(self):
+        candidates = default_period_candidates([AnalysisTask(msec(5), msec(10))])
+        assert all(c % msec(1) == 0 for c in candidates)
+        assert max(candidates) <= msec(10)
+
+    def test_fine_granularity_for_us_tasks(self):
+        candidates = default_period_candidates([AnalysisTask(usec(58), usec(500))])
+        assert min(candidates) < usec(100)

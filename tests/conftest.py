@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.engine import Engine
+from repro.simcore.trace import Trace
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace()
+
+
+@pytest.fixture
+def zero_costs():
+    return ZERO_COSTS
+
+
+def make_rtvirt(pcpus=1, slack_ns=0, costs=ZERO_COSTS, trace=None, **kw):
+    """An RTVirt system with exact-schedule defaults for unit tests."""
+    from repro.core.system import RTVirtSystem
+
+    return RTVirtSystem(
+        pcpu_count=pcpus, cost_model=costs, slack_ns=slack_ns, trace=trace, **kw
+    )

@@ -1,0 +1,94 @@
+"""Unit tests for the sched_rtvirt() hypercall path."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flags import SchedRTVirtFlag
+from repro.core.system import RTVirtSystem
+from repro.guest.task import Task
+from repro.host.costs import CostModel, ZERO_COSTS
+from repro.simcore.errors import AdmissionError
+from repro.simcore.time import msec, usec
+
+
+def make_system(pcpu_count=1, **kw):
+    kw.setdefault("cost_model", ZERO_COSTS)
+    kw.setdefault("slack_ns", 0)
+    return RTVirtSystem(pcpu_count=pcpu_count, **kw)
+
+
+class TestFlags:
+    def test_registration_logs_inc_bw(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        vm.register_task(Task("t", msec(2), msec(10)))
+        assert vm.port.log == [(SchedRTVirtFlag.INC_BW, True)]
+
+    def test_unregister_logs_dec_bw(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        t = Task("t", msec(2), msec(10))
+        vm.register_task(t)
+        vm.unregister_task(t)
+        assert vm.port.log[-1] == (SchedRTVirtFlag.DEC_BW, True)
+
+    def test_cross_vcpu_move_logs_inc_dec(self):
+        system = make_system(pcpu_count=2)
+        vm = system.create_vm("vm", vcpu_count=2)
+        a = Task("a", msec(5), msec(10))
+        t = Task("t", msec(2), msec(10))
+        vm.register_task(a)
+        vm.register_task(t)
+        vm.adjust_task(t, msec(7), msec(10))
+        assert (SchedRTVirtFlag.INC_DEC_BW, True) in vm.port.log
+
+    def test_rejected_request_logged(self):
+        system = make_system()
+        vm1 = system.create_vm("vm1")
+        vm1.register_task(Task("a", msec(8), msec(10)))
+        vm2 = system.create_vm("vm2")
+        with pytest.raises(AdmissionError):
+            vm2.register_task(Task("b", msec(5), msec(10)))
+        assert vm2.port.log == [(SchedRTVirtFlag.INC_BW, False)]
+
+
+class TestEffects:
+    def test_grant_updates_vcpu_and_scheduler(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        vm.register_task(Task("t", msec(2), msec(10)))
+        assert vm.vcpus[0].bandwidth == Fraction(1, 5)
+        assert vm.vcpus[0].admitted
+        assert system.total_rt_bandwidth == Fraction(1, 5)
+
+    def test_rejection_changes_nothing(self):
+        system = make_system()
+        vm1 = system.create_vm("vm1")
+        vm1.register_task(Task("a", msec(8), msec(10)))
+        vm2 = system.create_vm("vm2")
+        try:
+            vm2.register_task(Task("b", msec(5), msec(10)))
+        except AdmissionError:
+            pass
+        assert vm2.vcpus[0].bandwidth == 0
+        assert system.total_rt_bandwidth == Fraction(4, 5)
+
+    def test_hypercall_cost_charged(self):
+        system = RTVirtSystem(
+            pcpu_count=1,
+            cost_model=CostModel(hypercall_ns=usec(10)),
+            slack_ns=0,
+        )
+        vm = system.create_vm("vm")
+        vm.register_task(Task("t", msec(2), msec(10)))
+        assert system.machine.metrics.overhead.hypercalls == 1
+        assert system.machine.metrics.overhead.hypercall_time == usec(10)
+
+    def test_hotplugged_vcpu_mapped_in_shared_memory(self):
+        system = make_system(pcpu_count=2)
+        vm = system.create_vm("vm", vcpu_count=1, max_vcpus=2)
+        vm.register_task(Task("a", msec(6), msec(10)))
+        vm.register_task(Task("b", msec(5), msec(10)))
+        assert len(vm.vcpus) == 2
+        assert len(system.shared_memory) >= 2

@@ -1,0 +1,77 @@
+"""Unit tests for VCPU parameter derivation (paper §3.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.guest.params import VCPUParams, derive_vcpu_params, fits_on_vcpu
+from repro.guest.task import Task, make_background_task
+from repro.simcore.errors import ConfigurationError
+from repro.simcore.time import msec, usec
+
+
+class TestDerivation:
+    def test_single_task_matches_table2(self):
+        # Table 2: RTA (23, 30) ms with 500 µs slack -> VCPU (23.5, 30) ms.
+        t = Task("t", msec(23), msec(30))
+        p = derive_vcpu_params([t], slack_ns=usec(500))
+        assert p.budget_ns == msec(23.5)
+        assert p.period_ns == msec(30)
+
+    def test_period_is_minimum(self):
+        a = Task("a", msec(1), msec(30))
+        b = Task("b", msec(1), msec(10))
+        p = derive_vcpu_params([a, b], slack_ns=0)
+        assert p.period_ns == msec(10)
+
+    def test_budget_sums_bandwidths(self):
+        a = Task("a", msec(5), msec(20))  # 0.25
+        b = Task("b", msec(2), msec(10))  # 0.20
+        p = derive_vcpu_params([a, b], slack_ns=0)
+        assert p.budget_ns == int(0.45 * msec(10))
+
+    def test_budget_rounds_up(self):
+        t = Task("t", 1, 3)  # bw 1/3, period 3ns -> budget ceil(1) = 1
+        p = derive_vcpu_params([t], slack_ns=0)
+        assert p.budget_ns == 1
+
+    def test_background_ignored(self):
+        t = Task("t", msec(1), msec(10))
+        p = derive_vcpu_params([t, make_background_task("bg")], slack_ns=0)
+        assert p.bandwidth == Fraction(1, 10)
+
+    def test_no_rt_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_vcpu_params([make_background_task("bg")])
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_vcpu_params([Task("t", 1, 2)], slack_ns=-1)
+
+    def test_extra_bandwidth(self):
+        t = Task("t", msec(1), msec(10))
+        p = derive_vcpu_params([t], slack_ns=0, extra=[Fraction(1, 10)])
+        assert p.bandwidth == Fraction(1, 5)
+
+    def test_feasible(self):
+        assert VCPUParams(msec(5), msec(10)).feasible()
+        assert not VCPUParams(msec(11), msec(10)).feasible()
+
+
+class TestFits:
+    def test_fits_simple(self):
+        existing = [Task("a", msec(4), msec(10))]
+        assert fits_on_vcpu(existing, Task("b", msec(5), msec(10)), slack_ns=0)
+
+    def test_overflow_rejected(self):
+        existing = [Task("a", msec(6), msec(10))]
+        assert not fits_on_vcpu(existing, Task("b", msec(5), msec(10)), slack_ns=0)
+
+    def test_slack_counts_against_capacity(self):
+        # bw 0.95 + slack 0.5ms on a 10ms period -> budget 10ms: fits exactly.
+        assert fits_on_vcpu([], Task("t", msec(9.5), msec(10)), slack_ns=usec(500))
+        # bw 0.96 + slack: budget 10.1ms > 10ms period -> rejected.
+        assert not fits_on_vcpu([], Task("t", msec(9.6), msec(10)), slack_ns=usec(500))
+
+    def test_exact_unit_bandwidth_without_slack(self):
+        assert fits_on_vcpu([], Task("t", msec(10), msec(10)), slack_ns=0)

@@ -1,0 +1,170 @@
+"""Unit tests for the RTA task/job model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.guest.task import Job, Task, TaskKind, make_background_task
+from repro.simcore.errors import ConfigurationError, SimulationError
+from repro.simcore.time import msec
+
+
+class TestTaskConstruction:
+    def test_bandwidth(self):
+        t = Task("t", msec(5), msec(15))
+        assert t.bandwidth == Fraction(1, 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task("t", 0, msec(10))
+        with pytest.raises(ConfigurationError):
+            Task("t", msec(11), msec(10))
+        with pytest.raises(ConfigurationError):
+            Task("t", msec(1), 0)
+
+    def test_background_task(self):
+        t = make_background_task("bg")
+        assert t.kind is TaskKind.BACKGROUND
+        assert t.bandwidth == 0
+
+    def test_set_requirement(self):
+        t = Task("t", msec(1), msec(10))
+        t.set_requirement(msec(2), msec(20))
+        assert (t.slice_ns, t.period_ns) == (msec(2), msec(20))
+
+    def test_set_requirement_validates(self):
+        t = Task("t", msec(1), msec(10))
+        with pytest.raises(ConfigurationError):
+            t.set_requirement(msec(11), msec(10))
+
+    def test_task_seq_unique(self):
+        assert Task("a", 1, 2).seq != Task("b", 1, 2).seq
+
+
+class TestJobLifecycle:
+    def test_release_defaults(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=msec(100))
+        assert job.work == msec(2)
+        assert job.deadline == msec(110)
+        assert t.stats.released == 1
+
+    def test_release_custom_work_and_deadline(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0, work=msec(1), relative_deadline=msec(5))
+        assert job.work == msec(1)
+        assert job.deadline == msec(5)
+
+    def test_charge_and_complete(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0)
+        job.charge(msec(2))
+        assert job.done
+        t.retire_job(job, msec(5))
+        assert job.completed_at == msec(5)
+        assert t.stats.met == 1
+        assert not t.pending
+
+    def test_overcharge_rejected(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0)
+        with pytest.raises(SimulationError):
+            job.charge(msec(3))
+
+    def test_complete_with_work_left_rejected(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0)
+        with pytest.raises(SimulationError):
+            job.complete(msec(1))
+
+    def test_double_complete_rejected(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0)
+        job.charge(job.work)
+        job.complete(1)
+        with pytest.raises(SimulationError):
+            job.complete(2)
+
+    def test_on_complete_callback(self):
+        t = Task("t", msec(2), msec(10))
+        seen = []
+        job = t.release_job(now=0, on_complete=seen.append)
+        job.charge(job.work)
+        t.retire_job(job, msec(3))
+        assert seen == [job]
+
+    def test_late_completion_counts_missed(self):
+        t = Task("t", msec(2), msec(10))
+        job = t.release_job(now=0)
+        job.charge(job.work)
+        t.retire_job(job, msec(20))
+        assert t.stats.missed == 1
+
+    def test_head_job_fifo(self):
+        t = Task("t", msec(1), msec(10))
+        j1 = t.release_job(now=0)
+        t.release_job(now=msec(10))
+        assert t.head_job() is j1
+
+    def test_has_work(self):
+        t = Task("t", msec(1), msec(10))
+        assert not t.has_work
+        t.release_job(now=0)
+        assert t.has_work
+
+
+class TestSporadicRules:
+    def test_minimum_interarrival_enforced(self):
+        t = Task("t", msec(1), msec(10), TaskKind.SPORADIC)
+        t.release_job(now=0)
+        with pytest.raises(SimulationError):
+            t.release_job(now=msec(5))
+
+    def test_release_at_minimum_gap_ok(self):
+        t = Task("t", msec(1), msec(10), TaskKind.SPORADIC)
+        t.release_job(now=0)
+        t.release_job(now=msec(10))
+        assert t.stats.released == 2
+
+
+class TestBoundaries:
+    def test_periodic_boundary_is_next_release(self):
+        t = Task("t", msec(1), msec(10))
+        t.release_job(now=msec(20))
+        assert t.next_worst_case_deadline(msec(25)) == msec(30)
+
+    def test_periodic_never_released(self):
+        t = Task("t", msec(1), msec(10))
+        assert t.next_worst_case_deadline(msec(5)) == msec(15)
+
+    def test_sporadic_worst_case(self):
+        t = Task("t", msec(1), msec(10), TaskKind.SPORADIC)
+        t.release_job(now=0)
+        # Next possible arrival at 10, its deadline at 20.
+        assert t.next_worst_case_deadline(msec(2)) == msec(20)
+        # Once the minimum gap passed, arrival could be "now".
+        assert t.next_worst_case_deadline(msec(15)) == msec(25)
+
+    def test_background_no_boundary(self):
+        t = make_background_task("bg")
+        assert t.next_worst_case_deadline(0) is None
+
+    def test_earliest_pending_deadline(self):
+        t = Task("t", msec(1), msec(10))
+        t.release_job(now=0)
+        t.release_job(now=msec(10))
+        assert t.earliest_pending_deadline() == msec(10)
+
+
+class TestFinalize:
+    def test_unfinished_past_deadline_counts(self):
+        t = Task("t", msec(5), msec(10))
+        t.release_job(now=0)
+        t.finalize(end_time=msec(20))
+        assert t.stats.missed == 1
+
+    def test_unfinished_before_deadline_undecided(self):
+        t = Task("t", msec(5), msec(10))
+        t.release_job(now=0)
+        t.finalize(end_time=msec(5))
+        assert t.stats.decided == 0

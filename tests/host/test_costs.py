@@ -1,0 +1,34 @@
+"""Unit tests for the overhead cost model."""
+
+import pytest
+
+from repro.host.costs import DEFAULT_COSTS, ZERO_COSTS, CostModel
+from repro.simcore.errors import ConfigurationError
+
+
+class TestCostModel:
+    def test_zero_costs_all_zero(self):
+        assert ZERO_COSTS.context_switch_ns == 0
+        assert ZERO_COSTS.schedule_cost(100) == 0
+        assert ZERO_COSTS.hypercall_ns == 0
+
+    def test_default_hypercall_matches_paper(self):
+        # The paper measures ~10 µs per hypercall.
+        assert DEFAULT_COSTS.hypercall_ns == 10_000
+
+    def test_schedule_cost_scales_with_elements(self):
+        model = CostModel(schedule_base_ns=100, schedule_per_elem_ns=10)
+        assert model.schedule_cost(0) == 100
+        assert model.schedule_cost(5) == 150
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(context_switch_ns=-1)
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COSTS.schedule_cost(-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.context_switch_ns = 5  # type: ignore[misc]

@@ -1,0 +1,144 @@
+"""Edge-case and failure-injection tests for the host layer."""
+
+import pytest
+
+from repro.core.system import RTVirtSystem
+from repro.guest.task import Task, TaskKind
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.errors import AdmissionError, ConfigurationError
+from repro.simcore.time import msec, usec
+from repro.workloads.periodic import PeriodicDriver
+
+
+def make_system(**kw):
+    kw.setdefault("cost_model", ZERO_COSTS)
+    kw.setdefault("slack_ns", 0)
+    kw.setdefault("pcpu_count", 1)
+    return RTVirtSystem(**kw)
+
+
+class TestZeroAndTinyWork:
+    def test_one_nanosecond_jobs(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("tiny", 1, usec(1))
+        vm.register_task(task)
+        PeriodicDriver(system.engine, vm, task).start()
+        system.run(usec(50))
+        system.finalize()
+        assert task.stats.missed == 0
+        assert task.stats.met >= 40
+
+    def test_task_with_slice_equal_period(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("full", msec(10), msec(10))
+        vm.register_task(task)
+        PeriodicDriver(system.engine, vm, task).start()
+        system.run(msec(100))
+        system.finalize()
+        assert task.stats.missed == 0
+
+
+class TestMidRunChanges:
+    def test_unregister_running_task_mid_job(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("t", msec(5), msec(10))
+        vm.register_task(task)
+        system.machine.start()
+        system.engine.at(0, lambda: vm.release_job(task, now=0))
+        system.run_until(msec(2))  # mid-job
+        vm.unregister_task(task)
+        system.run_until(msec(20))  # must not crash or run the orphan
+        system.finalize()
+        assert task.stats.completed == 0
+
+    def test_adjust_while_job_in_flight(self):
+        system = make_system(pcpu_count=2)
+        vm = system.create_vm("vm")
+        task = Task("t", msec(2), msec(10))
+        vm.register_task(task)
+        driver = PeriodicDriver(system.engine, vm, task).start()
+        system.run(msec(11))  # second job in flight
+        vm.adjust_task(task, msec(6), msec(10))
+        system.run(msec(100))
+        system.finalize()
+        # The in-flight 2 ms job and all 6 ms successors complete on time.
+        assert task.stats.missed == 0
+
+    def test_rejected_batch_leaves_running_schedule_intact(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("t", msec(6), msec(10))
+        vm.register_task(task)
+        PeriodicDriver(system.engine, vm, task).start()
+        system.run(msec(25))
+        vm2 = system.create_vm("vm2")
+        with pytest.raises(AdmissionError):
+            vm2.register_task(Task("greedy", msec(6), msec(10)))
+        system.run(msec(25))
+        system.finalize()
+        assert task.stats.missed == 0
+
+
+class TestSporadicEdges:
+    def test_burst_at_minimum_interarrival(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("sp", msec(2), msec(10), TaskKind.SPORADIC)
+        vm.register_task(task)
+        system.machine.start()
+        for k in range(5):  # arrivals exactly p apart: worst legal burst
+            system.engine.at(
+                msec(10 * k), lambda t=msec(10 * k): vm.release_job(task, now=t)
+            )
+        system.run_until(msec(60))
+        system.finalize()
+        assert task.stats.met == 5
+
+    def test_long_idle_then_arrival(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("sp", msec(2), msec(10), TaskKind.SPORADIC)
+        vm.register_task(task)
+        hog = system.create_vm("hog")
+        hog_task = Task("hog", msec(8), msec(10))
+        hog.register_task(hog_task)
+        PeriodicDriver(system.engine, hog, hog_task).start()
+        system.machine.start()
+        system.engine.at(msec(995), lambda: vm.release_job(task, now=msec(995)))
+        system.run_until(msec(1050))
+        system.finalize()
+        assert task.stats.met == 1
+
+
+class TestEngineSafety:
+    def test_run_twice_continues(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("t", msec(1), msec(10))
+        vm.register_task(task)
+        PeriodicDriver(system.engine, vm, task).start()
+        system.run(msec(20))
+        first = task.stats.met
+        system.run(msec(20))
+        assert task.stats.met > first
+
+    def test_finalize_idempotent(self):
+        system = make_system()
+        vm = system.create_vm("vm")
+        task = Task("t", msec(1), msec(10))
+        vm.register_task(task)
+        PeriodicDriver(system.engine, vm, task).start()
+        system.run(msec(15))
+        system.finalize()
+        met = task.stats.met
+        system.finalize()
+        assert task.stats.met == met
+
+    def test_empty_system_runs(self):
+        system = make_system()
+        system.run(msec(100))
+        system.finalize()
+        assert system.miss_report().total_released == 0

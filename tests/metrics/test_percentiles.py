@@ -1,0 +1,87 @@
+"""Unit tests for percentile/CDF math."""
+
+import pytest
+
+from repro.metrics.percentiles import (
+    cdf_points,
+    fraction_below,
+    mean,
+    percentile,
+    percentiles,
+    tail_summary,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_simple(self):
+        data = list(range(1, 101))  # 1..100
+        assert percentile(data, 90) == 90
+        assert percentile(data, 99) == 99
+        assert percentile(data, 100) == 100
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 100) == 5
+
+    def test_single_sample(self):
+        assert percentile([7], 99.9) == 7
+
+    def test_p999_nearest_rank(self):
+        # Nearest-rank: the 999th of 1000 ordered samples.
+        data = [1.0] * 998 + [50.0, 100.0]
+        assert percentile(data, 99.9) == 50.0
+        # With more samples the top outliers are captured.
+        data = [1.0] * 9989 + [100.0] * 11
+        assert percentile(data, 99.9) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentiles_batch_matches_single(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        batch = percentiles(data, [50, 90, 99])
+        for p in (50, 90, 99):
+            assert batch[p] == percentile(data, p)
+
+    def test_tail_summary_keys(self):
+        tail = tail_summary([1, 2, 3])
+        assert set(tail) == {90.0, 95.0, 99.0, 99.9}
+
+
+class TestCdf:
+    def test_points_monotone(self):
+        pts = cdf_points([3, 1, 2, 2])
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_duplicates_collapse(self):
+        pts = cdf_points([2, 2, 2])
+        assert pts == [(2, 1.0)]
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 2) == 0.5
+
+    def test_fraction_below_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])

@@ -1,0 +1,122 @@
+"""Property-based tests on scheduler invariants.
+
+These are the paper's core guarantees, checked on randomly generated
+task sets:
+
+- DP-WRAP optimality: any set with total utilization <= m (and per-task
+  utilization <= 1) meets every deadline with zero overheads;
+- no VCPU ever executes on two PCPUs at once;
+- cumulative allocation tracks cumulative entitlement (carry fairness);
+- admission control never over-commits.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import RTVirtSystem
+from repro.guest.task import Task
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.time import msec, usec
+from repro.simcore.trace import Trace
+from repro.workloads.periodic import PeriodicDriver
+
+# (slice_ms, period_ms) pairs with utilization <= 1 each.
+task_spec = st.tuples(st.integers(1, 9), st.integers(10, 40)).map(
+    lambda t: (min(t[0], t[1]), t[1])
+)
+
+
+def _build(specs, pcpus, trace=None):
+    system = RTVirtSystem(
+        pcpu_count=pcpus, cost_model=ZERO_COSTS, slack_ns=0, trace=trace
+    )
+    tasks = []
+    for i, (s, p) in enumerate(specs):
+        vm = system.create_vm(f"vm{i}")
+        task = Task(f"t{i}", msec(s), msec(p))
+        vm.register_task(task)
+        tasks.append(task)
+        PeriodicDriver(system.engine, vm, task).start()
+    return system, tasks
+
+
+@given(st.lists(task_spec, min_size=1, max_size=5))
+@settings(max_examples=25, deadline=None)
+def test_dpwrap_meets_all_deadlines_when_feasible(specs):
+    total = sum(Fraction(s, p) for s, p in specs)
+    pcpus = int(total) + (1 if total % 1 else 0) or 1
+    system, tasks = _build(specs, pcpus)
+    system.run(msec(400))
+    system.finalize()
+    assert system.miss_report().total_missed == 0
+
+
+@given(st.lists(task_spec, min_size=2, max_size=5))
+@settings(max_examples=15, deadline=None)
+def test_no_vcpu_runs_on_two_pcpus(specs):
+    total = sum(Fraction(s, p) for s, p in specs)
+    pcpus = max(int(total) + (1 if total % 1 else 0), 2)
+    trace = Trace()
+    system, tasks = _build(specs, pcpus, trace=trace)
+    system.run(msec(200))
+    by_vcpu = {}
+    for seg in trace.segments:
+        by_vcpu.setdefault(seg.vcpu, []).append((seg.start, seg.end))
+    for intervals in by_vcpu.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1
+
+
+@given(st.lists(task_spec, min_size=1, max_size=4))
+@settings(max_examples=15, deadline=None)
+def test_pcpu_never_runs_two_vcpus(specs):
+    total = sum(Fraction(s, p) for s, p in specs)
+    pcpus = int(total) + (1 if total % 1 else 0) or 1
+    trace = Trace()
+    system, tasks = _build(specs, pcpus, trace=trace)
+    system.run(msec(200))
+    assert list(trace.iter_overlaps()) == []
+
+
+@given(st.lists(task_spec, min_size=1, max_size=4), st.integers(0, 3))
+@settings(max_examples=15, deadline=None)
+def test_allocation_tracks_entitlement(specs, extra_idle_pcpus):
+    """Over windows aligned with its period, every busy task receives at
+    least its bandwidth share (exact reservations, zero costs)."""
+    total = sum(Fraction(s, p) for s, p in specs)
+    pcpus = (int(total) + (1 if total % 1 else 0) or 1) + extra_idle_pcpus
+    trace = Trace()
+    system, tasks = _build(specs, pcpus, trace=trace)
+    horizon = msec(400)
+    system.run(horizon)
+    system.finalize()
+    for task, (s, p) in zip(tasks, specs):
+        windows = horizon // msec(p)
+        demand = windows * msec(s)
+        usage = trace.vcpu_usage_between(task.vcpu.name, 0, windows * msec(p))
+        assert usage >= demand  # every released job completed on time
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 100), st.integers(100, 1000)), min_size=1, max_size=20
+    ),
+    st.integers(1, 4),
+)
+def test_admission_never_overcommits(requests, pcpus):
+    from repro.core.admission import UtilizationAdmission
+    from repro.guest.vm import VM
+
+    adm = UtilizationAdmission(pcpus)
+    vm = VM("vm", vcpu_count=1, max_vcpus=len(requests) or 1)
+    granted = Fraction(0)
+    for i, (budget, period) in enumerate(requests):
+        vcpu = vm.vcpus[0] if i == 0 else vm.hotplug_vcpu() or vm.vcpus[0]
+        before = adm.granted(vcpu)
+        if adm.try_commit([(vcpu, usec(budget), usec(period))]):
+            granted += Fraction(budget, period) - before
+    assert adm.total_granted <= pcpus
+    assert adm.total_granted == granted

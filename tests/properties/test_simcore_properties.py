@@ -1,0 +1,58 @@
+"""Property-based tests on the simulation core."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcore.engine import Engine
+from repro.simcore.events import EventQueue
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 90)), max_size=60))
+def test_event_queue_pops_in_order(items):
+    """Events always pop in (time, priority, insertion) order."""
+    q = EventQueue()
+    for time, priority in items:
+        q.push(time, lambda: None, priority=priority)
+    popped = []
+    while q:
+        e = q.pop()
+        popped.append((e.time, e.priority, e.seq))
+    assert popped == sorted(popped)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 10_000), st.integers(0, 90)), max_size=60),
+    st.sets(st.integers(0, 59)),
+)
+def test_cancelled_events_never_pop(items, cancel_idx):
+    q = EventQueue()
+    events = [q.push(t, lambda: None, priority=p) for t, p in items]
+    for i in cancel_idx:
+        if i < len(events):
+            q.cancel(events[i])
+    surviving = {id(e) for i, e in enumerate(events) if not e.cancelled}
+    popped = set()
+    while q:
+        popped.add(id(q.pop()))
+    assert popped == surviving
+
+
+@given(st.lists(st.integers(0, 100_000), min_size=1, max_size=50))
+def test_engine_executes_every_event_once(times):
+    engine = Engine()
+    hits = []
+    for i, t in enumerate(times):
+        engine.at(t, hits.append, i)
+    engine.run_until(max(times))
+    assert sorted(hits) == list(range(len(times)))
+
+
+@given(st.lists(st.integers(0, 50_000), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_engine_clock_never_goes_backwards(times):
+    engine = Engine()
+    observed = []
+    for t in times:
+        engine.at(t, lambda: observed.append(engine.now))
+    engine.run_until(max(times))
+    assert observed == sorted(observed)

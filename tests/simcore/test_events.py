@@ -1,0 +1,104 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.simcore.errors import SimulationError
+from repro.simcore.events import (
+    PRIORITY_COMPLETION,
+    PRIORITY_RELEASE,
+    PRIORITY_SCHEDULE,
+    EventQueue,
+)
+
+
+def _noop():
+    pass
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(20, _noop, name="b")
+        q.push(10, _noop, name="a")
+        assert q.pop().name == "a"
+        assert q.pop().name == "b"
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(10, _noop, priority=PRIORITY_SCHEDULE, name="sched")
+        q.push(10, _noop, priority=PRIORITY_RELEASE, name="release")
+        q.push(10, _noop, priority=PRIORITY_COMPLETION, name="complete")
+        assert [q.pop().name for _ in range(3)] == ["release", "complete", "sched"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        for i in range(5):
+            q.push(10, _noop, name=f"e{i}")
+        assert [q.pop().name for _ in range(5)] == [f"e{i}" for i in range(5)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        e1 = q.push(10, _noop, name="a")
+        q.push(20, _noop, name="b")
+        q.cancel(e1)
+        assert q.pop().name == "b"
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.push(10, _noop)
+        q.push(20, _noop)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        e1 = q.push(10, _noop)
+        q.push(20, _noop)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(10, _noop)
+        q.push(30, _noop)
+        q.cancel(e)
+        assert q.peek_time() == 30
+
+
+class TestErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1, _noop)
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1, _noop)
+        q.clear()
+        assert not q
+
+
+class TestEventState:
+    def test_active_flag(self):
+        q = EventQueue()
+        e = q.push(5, _noop)
+        assert e.active
+        q.cancel(e)
+        assert not e.active
+
+    def test_callback_and_args_stored(self):
+        q = EventQueue()
+        calls = []
+        e = q.push(5, calls.append, 42)
+        e.callback(*e.args)
+        assert calls == [42]

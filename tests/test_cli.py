@@ -1,0 +1,40 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_list_shows_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("fig1", "table2", "fig5a", "table6"):
+            assert experiment_id in out
+
+    def test_list_mentions_paper_refs(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Table 2" in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "(4,5)" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["run", "table2", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Table 2" in out
+
+    def test_unknown_id_fails(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,78 @@
+"""Tests for report formatting helpers and small shared utilities."""
+
+import pytest
+
+from repro.experiments.common import format_table, percent
+from repro.simcore.errors import (
+    AdmissionError,
+    AnalysisError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 12345},
+        ]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+        # All data lines equal width.
+        assert len(set(len(l) for l in lines[2:])) <= 2
+
+    def test_floats_fixed_precision(self):
+        out = format_table([{"x": 1.23456}])
+        assert "1.235" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_missing_cell_blank(self):
+        out = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert out.count("\n") == 3
+
+    def test_percent(self):
+        assert percent(0.123456) == "12.346%"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (SimulationError, SchedulingError, ConfigurationError, AnalysisError):
+            assert issubclass(exc, ReproError)
+
+    def test_admission_error_level(self):
+        err = AdmissionError("nope", level="guest")
+        assert err.level == "guest"
+        assert isinstance(err, ReproError)
+
+    def test_admission_error_default_level(self):
+        assert AdmissionError("nope").level == "host"
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.experiments
+        import repro.monitoring
+        import repro.placement
+        import repro.report
+        import repro.workloads

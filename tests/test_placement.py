@@ -1,0 +1,160 @@
+"""Tests for the multi-host placement and migration extensions (§6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.placement import (
+    ClusterPlanner,
+    HostDescriptor,
+    MigrationParams,
+    VMDemand,
+    estimate_migration,
+    migration_safe_for,
+    plan_rebalancing,
+)
+from repro.simcore.errors import AdmissionError, ConfigurationError
+from repro.simcore.time import msec, usec
+
+GB = 1024**3
+GBPS = GB // 8  # bytes/s of a 1 Gb/s link... (8 Gb/s -> 1 GB/s)
+
+
+def hosts(*caps):
+    return [HostDescriptor(f"h{i}", c) for i, c in enumerate(caps)]
+
+
+class TestPlacement:
+    def test_worst_fit_spreads(self):
+        planner = ClusterPlanner(hosts(4, 4))
+        planner.place(VMDemand("a", Fraction(2)))
+        planner.place(VMDemand("b", Fraction(2)))
+        assert planner.assignments["a"] != planner.assignments["b"]
+
+    def test_first_fit_packs(self):
+        planner = ClusterPlanner(hosts(4, 4), policy="first_fit")
+        planner.place(VMDemand("a", Fraction(2)))
+        planner.place(VMDemand("b", Fraction(2)))
+        assert planner.assignments == {"a": "h0", "b": "h0"}
+
+    def test_best_fit_picks_tightest(self):
+        planner = ClusterPlanner(hosts(4, 2), policy="best_fit")
+        planner.place(VMDemand("a", Fraction(3, 2)))
+        assert planner.assignments["a"] == "h1"
+
+    def test_rejects_when_nothing_fits(self):
+        planner = ClusterPlanner(hosts(1, 1))
+        planner.place(VMDemand("a", Fraction(3, 4)))
+        planner.place(VMDemand("b", Fraction(3, 4)))
+        with pytest.raises(AdmissionError):
+            planner.place(VMDemand("c", Fraction(1, 2)))
+
+    def test_place_all_atomic(self):
+        planner = ClusterPlanner(hosts(1))
+        with pytest.raises(AdmissionError):
+            planner.place_all(
+                [VMDemand("a", Fraction(3, 4)), VMDemand("b", Fraction(3, 4))]
+            )
+        assert planner.assignments == {}
+        assert planner.hosts[0].load == 0
+
+    def test_remove_frees_capacity(self):
+        planner = ClusterPlanner(hosts(1))
+        planner.place(VMDemand("a", Fraction(3, 4)))
+        planner.remove("a")
+        planner.place(VMDemand("b", Fraction(3, 4)))
+        assert "b" in planner.assignments
+
+    def test_background_reserve_respected(self):
+        host = HostDescriptor("h", 2, background_reserve=Fraction(1, 2))
+        planner = ClusterPlanner([host])
+        with pytest.raises(AdmissionError):
+            planner.place(VMDemand("a", Fraction(7, 4)))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterPlanner([HostDescriptor("h", 1), HostDescriptor("h", 1)])
+
+    def test_grow_in_place(self):
+        planner = ClusterPlanner(hosts(2))
+        planner.place(VMDemand("a", Fraction(1, 2)))
+        host, migrated = planner.grow("a", Fraction(3, 2))
+        assert not migrated
+        assert host.load == Fraction(3, 2)
+
+    def test_grow_migrates_when_full(self):
+        planner = ClusterPlanner(hosts(2, 4), policy="first_fit")
+        planner.place(VMDemand("a", Fraction(1)))
+        planner.place(VMDemand("filler", Fraction(1)))
+        host, migrated = planner.grow("a", Fraction(3))
+        assert migrated
+        assert host.name == "h1"
+
+    def test_grow_rolls_back_on_failure(self):
+        planner = ClusterPlanner(hosts(2))
+        planner.place(VMDemand("a", Fraction(1)))
+        planner.place(VMDemand("b", Fraction(1)))
+        with pytest.raises(AdmissionError):
+            planner.grow("a", Fraction(2))
+        assert planner.host_of("a").name == "h0"
+        assert planner.host("h0").load == Fraction(2)
+
+
+class TestMigrationModel:
+    def _params(self, dirty=100 * 1024 * 1024):
+        return MigrationParams(
+            memory_bytes=4 * GB,
+            dirty_rate_bytes_per_s=dirty,
+            link_bytes_per_s=GB,  # ~8 Gb/s
+        )
+
+    def test_precopy_converges(self):
+        est = estimate_migration(self._params())
+        assert est.downtime_ns < est.total_duration_ns
+        assert est.rounds >= 2
+        assert est.transferred_bytes >= 4 * GB
+
+    def test_zero_dirty_rate_single_round(self):
+        est = estimate_migration(self._params(dirty=0))
+        assert est.downtime_ns == 0 or est.rounds <= 2
+
+    def test_higher_dirty_rate_more_downtime(self):
+        low = estimate_migration(self._params(dirty=50 * 1024 * 1024))
+        high = estimate_migration(self._params(dirty=500 * 1024 * 1024))
+        assert high.downtime_ns >= low.downtime_ns
+
+    def test_nonconvergent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MigrationParams(
+                memory_bytes=GB, dirty_rate_bytes_per_s=GB, link_bytes_per_s=GB
+            )
+
+    def test_safety_criterion(self):
+        est = estimate_migration(self._params())
+        # A task with 100 ms slack tolerates ~60 ms downtime; one with
+        # 10 µs slack does not.
+        assert migration_safe_for(est, slice_ns=msec(10), period_ns=msec(200))
+        assert not migration_safe_for(est, slice_ns=usec(490), period_ns=usec(500))
+
+
+class TestRebalancing:
+    def test_rebalance_reduces_imbalance(self):
+        planner = ClusterPlanner(hosts(4, 4), policy="first_fit")
+        for i in range(6):
+            planner.place(VMDemand(f"vm{i}", Fraction(1, 2)))
+        assert planner.imbalance() > 0.5
+        params = MigrationParams(
+            memory_bytes=GB, dirty_rate_bytes_per_s=0, link_bytes_per_s=GB
+        )
+        moved = plan_rebalancing(planner, params, target_imbalance=0.3)
+        assert moved
+        assert planner.imbalance() <= 0.5
+
+    def test_rebalance_noop_when_balanced(self):
+        planner = ClusterPlanner(hosts(4, 4))
+        planner.place(VMDemand("a", Fraction(1)))
+        planner.place(VMDemand("b", Fraction(1)))
+        params = MigrationParams(
+            memory_bytes=GB, dirty_rate_bytes_per_s=0, link_bytes_per_s=GB
+        )
+        assert plan_rebalancing(planner, params, target_imbalance=0.2) == []

@@ -1,0 +1,150 @@
+"""Tests for the rt-app configuration loader."""
+
+import json
+
+import pytest
+
+from repro.core.system import RTVirtSystem
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.errors import ConfigurationError
+from repro.simcore.rng import RandomSource
+from repro.simcore.time import sec
+from repro.workloads.rtapp import (
+    deploy_rtapp,
+    load_rtapp_file,
+    parse_rtapp_config,
+    table1_group_as_rtapp,
+)
+
+
+def config_dict():
+    return {
+        "tasks": {
+            "thread0": {
+                "policy": "SCHED_DEADLINE",
+                "runtime": 13000,
+                "period": 20000,
+                "deadline": 20000,
+            },
+            "thread1": {"runtime": 5000, "period": 40000, "delay": 3000},
+        },
+        "global": {"duration": 5},
+    }
+
+
+class TestParsing:
+    def test_parse_basic(self):
+        config = parse_rtapp_config(config_dict())
+        assert len(config.tasks) == 2
+        assert config.duration_s == 5
+        thread0 = config.tasks[0]
+        assert thread0.runtime_us == 13000
+        assert thread0.period_us == 20000
+
+    def test_utilization(self):
+        config = parse_rtapp_config(config_dict())
+        assert config.total_utilization == pytest.approx(0.65 + 0.125)
+
+    def test_default_policy_and_deadline(self):
+        config = parse_rtapp_config(config_dict())
+        assert config.tasks[1].deadline_us == 40000
+
+    def test_missing_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_rtapp_config({"global": {"duration": 1}})
+
+    def test_unsupported_policy_rejected(self):
+        bad = config_dict()
+        bad["tasks"]["thread0"]["policy"] = "SCHED_OTHER"
+        with pytest.raises(ConfigurationError):
+            parse_rtapp_config(bad)
+
+    def test_invalid_runtime_rejected(self):
+        bad = config_dict()
+        bad["tasks"]["thread0"]["runtime"] = 50000  # > period
+        with pytest.raises(ConfigurationError):
+            parse_rtapp_config(bad)
+
+    def test_missing_period_rejected(self):
+        bad = config_dict()
+        del bad["tasks"]["thread1"]["period"]
+        with pytest.raises(ConfigurationError):
+            parse_rtapp_config(bad)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps(config_dict()))
+        config = load_rtapp_file(str(path))
+        assert len(config.tasks) == 2
+
+
+class TestDeployment:
+    def test_deploy_and_run(self):
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("rtapp-vm")
+        config = parse_rtapp_config(config_dict())
+        tasks = deploy_rtapp(config, vm)
+        system.run(config.duration_ns)
+        system.finalize()
+        assert sum(t.stats.missed for t in tasks) == 0
+        assert tasks[0].stats.released >= 249  # 5 s / 20 ms
+
+    def test_delay_respected(self):
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("rtapp-vm")
+        config = parse_rtapp_config(config_dict())
+        tasks = deploy_rtapp(config, vm)
+        system.run(sec(1))
+        t1_jobs = tasks[1].stats.released
+        assert t1_jobs == 25  # phase 3 ms, period 40 ms, within 1 s
+
+    def test_sporadic_thread(self):
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("rtapp-vm")
+        config = parse_rtapp_config(
+            {
+                "tasks": {
+                    "sp": {"runtime": 1000, "period": 50000, "sporadic": True}
+                },
+                "global": {"duration": 20},
+            }
+        )
+        tasks = deploy_rtapp(config, vm, rng=RandomSource(1, "rtapp"))
+        system.run(sec(20))
+        system.finalize()
+        assert tasks[0].stats.released > 10
+        assert tasks[0].stats.missed == 0
+
+    def test_sporadic_needs_rng(self):
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("rtapp-vm")
+        config = parse_rtapp_config(
+            {
+                "tasks": {"sp": {"runtime": 1000, "period": 50000, "sporadic": True}},
+                "global": {"duration": 1},
+            }
+        )
+        with pytest.raises(ConfigurationError):
+            deploy_rtapp(config, vm)
+
+    def test_deploy_requires_attached_vm(self):
+        from repro.guest.vm import VM
+
+        vm = VM("floating")
+        config = parse_rtapp_config(config_dict())
+        with pytest.raises(ConfigurationError):
+            deploy_rtapp(config, vm)
+
+
+class TestRoundTrip:
+    def test_table1_round_trip(self):
+        rendered = table1_group_as_rtapp("NH-Dec")
+        config = parse_rtapp_config(rendered)
+        assert len(config.tasks) == 4
+        assert config.total_utilization == pytest.approx(
+            23 / 30 + 13 / 20 + 5 / 10 + 10 / 100
+        )
+
+    def test_unknown_group(self):
+        with pytest.raises(ConfigurationError):
+            table1_group_as_rtapp("Nope")

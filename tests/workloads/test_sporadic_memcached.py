@@ -1,0 +1,129 @@
+"""Unit tests for the sporadic and memcached workload models."""
+
+import pytest
+
+from repro.guest.task import Task, TaskKind
+from repro.guest.vm import VM
+from repro.simcore.engine import Engine
+from repro.simcore.errors import ConfigurationError
+from repro.simcore.rng import RandomSource
+from repro.simcore.time import MSEC, SEC, msec, sec, usec
+from repro.workloads.memcached import MemcachedService
+from repro.workloads.sporadic import SporadicDriver
+
+
+def sporadic_setup(**kw):
+    engine = Engine()
+    vm = VM("vm")
+    task = Task("sp", msec(5), msec(50), TaskKind.SPORADIC)
+    vm.register_task(task)
+    driver = SporadicDriver(engine, vm, task, RandomSource(1, "sp"), **kw)
+    return engine, vm, task, driver
+
+
+class TestSporadicDriver:
+    def test_respects_max_requests(self):
+        engine, vm, task, driver = sporadic_setup(max_requests=5)
+        driver.start()
+        engine.run_until(20 * SEC)
+        assert driver.requests_sent == 5
+        assert task.stats.released == 5
+
+    def test_interarrival_in_bounds(self):
+        engine, vm, task, driver = sporadic_setup(max_requests=20)
+        driver.start()
+        engine.run_until(60 * SEC)
+        releases = sorted(j.release for j in task.pending)
+        gaps = [b - a for a, b in zip(releases, releases[1:])]
+        assert all(100 * MSEC <= g <= SEC for g in gaps)
+
+    def test_rejects_periodic_task(self):
+        engine = Engine()
+        vm = VM("vm")
+        task = Task("p", msec(5), msec(50))
+        vm.register_task(task)
+        with pytest.raises(ConfigurationError):
+            SporadicDriver(engine, vm, task, RandomSource(1, "x"))
+
+    def test_rejects_interarrival_below_min_gap(self):
+        engine = Engine()
+        vm = VM("vm")
+        task = Task("sp", msec(5), msec(500), TaskKind.SPORADIC)
+        vm.register_task(task)
+        with pytest.raises(ConfigurationError):
+            SporadicDriver(
+                engine, vm, task, RandomSource(1, "x"), min_interarrival_ns=msec(100)
+            )
+
+    def test_stop(self):
+        engine, vm, task, driver = sporadic_setup()
+        driver.start()
+        engine.at(sec(2), driver.stop)
+        engine.run_until(sec(10))
+        assert task.stats.released <= 20
+
+
+class TestMemcached:
+    def test_requests_recorded_on_dedicated_cpu(self):
+        from repro.core.system import RTVirtSystem
+        from repro.host.costs import ZERO_COSTS
+
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("mc", slack_ns=0)
+        svc = MemcachedService(system.engine, vm, RandomSource(2, "mc")).start()
+        system.run(sec(5))
+        system.finalize()
+        assert len(svc.latency) > 300
+        # Uncontended: latency == service time, well under the SLO.
+        assert svc.latency.p999_usec() < 100.0
+
+    def test_service_times_lognormal_band(self):
+        from repro.core.system import RTVirtSystem
+        from repro.host.costs import ZERO_COSTS
+
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("mc", slack_ns=0)
+        svc = MemcachedService(system.engine, vm, RandomSource(2, "mc")).start()
+        system.run(sec(5))
+        system.finalize()
+        tail = svc.latency.tail_usec()
+        assert 40.0 < tail[90.0] < 60.0  # calibrated to Table 4
+
+    def test_interarrival_mean_100qps(self):
+        from repro.core.system import RTVirtSystem
+        from repro.host.costs import ZERO_COSTS
+
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("mc", slack_ns=0)
+        svc = MemcachedService(system.engine, vm, RandomSource(2, "mc")).start()
+        system.run(sec(20))
+        assert 1700 <= svc.requests_sent <= 2300
+
+    def test_mean_interarrival_must_exceed_period(self):
+        engine = Engine()
+        vm = VM("mc")
+        with pytest.raises(ConfigurationError):
+            MemcachedService(
+                engine,
+                vm,
+                RandomSource(0, "mc"),
+                mean_interarrival_ns=usec(400),
+            )
+
+    def test_sporadic_minimum_gap_respected(self):
+        # Even with an aggressive arrival distribution, released gaps
+        # never violate the task's minimum inter-arrival.
+        from repro.core.system import RTVirtSystem
+        from repro.host.costs import ZERO_COSTS
+
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+        vm = system.create_vm("mc", slack_ns=0)
+        svc = MemcachedService(
+            system.engine,
+            vm,
+            RandomSource(3, "mc"),
+            mean_interarrival_ns=msec(1),
+            interarrival_sigma_ns=msec(5),
+        ).start()
+        system.run(sec(2))
+        assert svc.requests_sent > 0
