@@ -141,12 +141,18 @@ class CreditScheduler(HostScheduler):
     def _dequeue(self, info: _CreditVCPU) -> None:
         if not info.queued:
             return
-        for queue in self._queues.values():
-            try:
-                queue.remove(info)
-                break
-            except ValueError:
-                continue
+        # A queued VCPU always sits in the queue of its current priority:
+        # every priority change dequeues first (accounting, idle) or
+        # happens while the VCPU runs unqueued (timeslice de-boost).
+        try:
+            self._queues[info.priority].remove(info)
+        except ValueError:  # pragma: no cover - invariant violation guard
+            for queue in self._queues.values():
+                try:
+                    queue.remove(info)
+                    break
+                except ValueError:
+                    continue
         info.queued = False
 
     def _runnable(self, info: _CreditVCPU) -> bool:
@@ -355,8 +361,12 @@ class CreditScheduler(HostScheduler):
                     for q in self._queues.values()
                     for i in q
                 )
-                if has_waiter:
-                    self._pick_next(pcpu.index)
+                if not has_waiter:
+                    # Skipping this PCPU changes nothing a later idle
+                    # PCPU's scan could observe, so the answer stays
+                    # "no waiter" for the rest of the loop.
+                    return
+                self._pick_next(pcpu.index)
 
     # -- lifecycle -----------------------------------------------------------------------------------
 

@@ -26,14 +26,25 @@ from ..guest.task import Task
 from ..guest.vm import VM
 from ..host.base_system import BaseSystem
 from ..host.costs import DEFAULT_COSTS, CostModel
-from ..host.edf import EDFHostScheduler
+from ..host.edf import EDFHostScheduler, PartitionedEDFHostScheduler
 from ..simcore.engine import Engine
 from ..simcore.errors import ConfigurationError
 from ..simcore.trace import Trace
 
+_HOST_SCHEDULERS = {
+    "gedf": EDFHostScheduler,
+    "pedf": PartitionedEDFHostScheduler,
+}
+
 
 class RTXenSystem(BaseSystem):
-    """A host running RT-Xen's gEDF deferrable-server scheduler."""
+    """A host running RT-Xen's deferrable-server scheduler.
+
+    Defaults to the paper's best configuration (host gEDF); pass
+    ``host="pedf"`` for the partitioned configuration, where each VM's
+    VCPU servers are placed first-fit decreasing by bandwidth
+    (:meth:`PartitionedEDFHostScheduler.add_vcpus`).
+    """
 
     def __init__(
         self,
@@ -41,9 +52,15 @@ class RTXenSystem(BaseSystem):
         engine: Optional[Engine] = None,
         cost_model: CostModel = DEFAULT_COSTS,
         trace: Optional[Trace] = None,
+        host: str = "gedf",
     ) -> None:
         super().__init__(pcpu_count, engine, cost_model, trace)
-        self.scheduler = EDFHostScheduler()
+        if host not in _HOST_SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown RT-Xen host scheduler {host!r}; choose from "
+                f"{sorted(_HOST_SCHEDULERS)}"
+            )
+        self.scheduler = _HOST_SCHEDULERS[host]()
         self.machine.set_host_scheduler(self.scheduler)
 
     def create_vm(
@@ -66,7 +83,13 @@ class RTXenSystem(BaseSystem):
         self._attach(vm)
         for index, (budget_ns, period_ns) in enumerate(interfaces):
             vm.configure_vcpu(index, budget_ns, period_ns)
-            self.scheduler.add_vcpu(vm.vcpus[index])
+        if isinstance(self.scheduler, PartitionedEDFHostScheduler):
+            # Partitioned host: place the VM's servers as a batch so the
+            # first-fit-decreasing heuristic sees them together.
+            self.scheduler.add_vcpus(list(vm.vcpus))
+        else:
+            for vcpu in vm.vcpus:
+                self.scheduler.add_vcpu(vcpu)
         return vm
 
     def create_background_vm(self, name: str, processes: int = 1) -> VM:

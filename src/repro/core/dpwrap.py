@@ -538,9 +538,12 @@ class DPWrapScheduler(HostScheduler):
     def _request_repartition(self) -> None:
         """Schedule one re-partition at the end of the current instant."""
         now = self.engine.now
+        # One repartition per instant: suppress when one is pending at
+        # `now` *or already ran* at `now` (a consumed event still counts —
+        # re-running the partition step would double-charge schedule()).
         if (
             self._reslice_event is not None
-            and self._reslice_event.active
+            and not self._reslice_event.cancelled
             and self._reslice_event.time == now
         ):
             return

@@ -200,6 +200,7 @@ class Task:
         job = Job(self, next(self._job_counter), now, deadline, job_work, on_complete)
         self.pending.append(job)
         self.last_release = now
+        self._notify_pending(1)
         return job
 
     def head_job(self) -> Optional[Job]:
@@ -210,6 +211,21 @@ class Task:
         """Complete *job* and drop it from the pending queue."""
         job.complete(now)
         self.pending.remove(job)
+        self._notify_pending(-1)
+
+    def _notify_pending(self, delta: int) -> None:
+        """Keep the VCPU/VM pending-job counters in step with this queue.
+
+        The counters make ``has_work`` O(1) on the scheduler hot path;
+        every mutation of :attr:`pending` must route through here (or
+        through the pin/registration transfer paths).
+        """
+        vcpu = self.vcpu
+        if vcpu is not None:
+            vcpu._pending_jobs += delta
+        vm = self.vm
+        if vm is not None:
+            vm._pending_jobs += delta
 
     @property
     def has_work(self) -> bool:

@@ -39,6 +39,9 @@ class VCPU:
         self.period_ns: int = 0
         #: True once the host scheduler has admitted this VCPU.
         self.admitted = False
+        #: Pending jobs across pinned tasks (kept exact by the task layer
+        #: so :attr:`has_work` is O(1) on the scheduler hot path).
+        self._pending_jobs = 0
 
     # -- host-visible parameters --------------------------------------------
 
@@ -66,11 +69,13 @@ class VCPU:
             task.vcpu.unpin_task(task)
         task.vcpu = self
         self.tasks.append(task)
+        self._pending_jobs += len(task.pending)
 
     def unpin_task(self, task: Task) -> None:
         """Remove *task* from this VCPU."""
         self.tasks.remove(task)
         task.vcpu = None
+        self._pending_jobs -= len(task.pending)
 
     def rt_tasks(self) -> List[Task]:
         """Pinned tasks that have deadlines (periodic or sporadic)."""
@@ -108,8 +113,8 @@ class VCPU:
 
     @property
     def has_work(self) -> bool:
-        """True when any pinned task has a pending job."""
-        return any(t.has_work for t in self.tasks)
+        """True when any pinned task has a pending job.  O(1)."""
+        return self._pending_jobs > 0
 
     @property
     def has_rt_work(self) -> bool:

@@ -49,9 +49,14 @@ class VM:
                 f"unknown guest scheduler {scheduler!r}; choose from {sorted(_SCHEDULERS)}"
             )
         self.guest_scheduler = _SCHEDULERS[scheduler](self, slack_ns)
+        #: Cached scheduler-kind flag for the O(1) has-work hot path.
+        self._is_gedf = isinstance(self.guest_scheduler, GEDFGuestScheduler)
         self.tasks: List[Task] = []
         self.port: CrossLayerPort = LocalPort()
         self.machine = None  # set when the VM is attached to a Machine
+        #: Pending jobs across registered tasks (kept exact by the task
+        #: layer so the gEDF :meth:`vcpu_has_work` path is O(1)).
+        self._pending_jobs = 0
 
     # -- configuration ---------------------------------------------------------
 
@@ -90,13 +95,17 @@ class VM:
         vcpu = self.guest_scheduler.register(task)
         task.vm = self
         self.tasks.append(task)
+        self._pending_jobs += len(task.pending)
+        self._notify_dispatch_change()
         return vcpu
 
     def adjust_task(self, task: Task, slice_ns: int, period_ns: int) -> VCPU:
         """Change a registered RTA's timeliness requirement."""
         if task.vm is not self:
             raise ConfigurationError(f"task {task.name} is not registered with {self.name}")
-        return self.guest_scheduler.adjust(task, slice_ns, period_ns)
+        vcpu = self.guest_scheduler.adjust(task, slice_ns, period_ns)
+        self._notify_dispatch_change()
+        return vcpu
 
     def unregister_task(self, task: Task) -> None:
         """Unregister an RTA and release its bandwidth."""
@@ -105,6 +114,8 @@ class VM:
         self.guest_scheduler.unregister(task)
         self.tasks.remove(task)
         task.vm = None
+        self._pending_jobs -= len(task.pending)
+        self._notify_dispatch_change()
 
     def add_background_process(self, name: Optional[str] = None) -> Task:
         """Create and register a CPU-bound non-RTA process.
@@ -116,6 +127,7 @@ class VM:
         self.guest_scheduler.register(task)
         task.vm = self
         self.tasks.append(task)
+        self._pending_jobs += len(task.pending)
         now = self.machine.engine.now if self.machine is not None else 0
         self.release_job(task, now=now)
         return task
@@ -143,6 +155,12 @@ class VM:
                 self.machine.notify_wake(vcpu)
         return job
 
+    def _notify_dispatch_change(self) -> None:
+        """Tell the machine that task churn may have changed a running
+        VCPU's guest pick (re-pins under pEDF, queue transfers, ...)."""
+        if self.machine is not None:
+            self.machine.notify_dispatch_change(self)
+
     def wake_targets(self, task: Task) -> List[VCPU]:
         """VCPUs that may run *task*'s new job (pEDF: its pin; gEDF: all)."""
         if isinstance(self.guest_scheduler, GEDFGuestScheduler):
@@ -155,10 +173,10 @@ class VM:
         return self.guest_scheduler.pick_job(vcpu, now)
 
     def vcpu_has_work(self, vcpu: VCPU) -> bool:
-        """Whether *vcpu* could execute something right now."""
-        if isinstance(self.guest_scheduler, GEDFGuestScheduler):
-            return any(t.has_work for t in self.tasks)
-        return vcpu.has_work
+        """Whether *vcpu* could execute something right now.  O(1)."""
+        if self._is_gedf:
+            return self._pending_jobs > 0
+        return vcpu._pending_jobs > 0
 
     def on_vcpu_descheduled(self, vcpu: VCPU) -> None:
         self.guest_scheduler.on_vcpu_descheduled(vcpu)

@@ -15,22 +15,54 @@ Two systems in the paper use exactly this scheduler:
   server at the host level, with the interfaces computed offline by CSA.
 
 PCPUs not needed by RT servers run background VCPUs.
+
+Hot-path structure (see DESIGN.md for the full argument):
+
+- the eligible set is maintained **incrementally**: ``_ready`` indexes
+  servers with budget left (updated on replenish and on the drain-to-
+  zero crossing in :meth:`account`), and a lazy deadline-keyed heap of
+  ``(deadline, uid)`` entries — refreshed on replenish and wake — yields
+  the m earliest eligible servers without re-sorting every server on
+  every decision;
+- **same-instant no-op passes are skipped**: a (time, mutation-counter)
+  stamp taken after each completed pass detects repeated ``_reschedule``
+  requests at one instant with no intervening state change (e.g. an
+  idle-report storm after the first pass already vacated every idle
+  server); such a pass provably makes no placement, charge, or timer
+  change, so it is elided.  Requests coalesce through a dirty flag that
+  an :meth:`Engine.add_post_hook` hook re-checks once per event batch;
+- budget timers use **targeted sync** (:meth:`Machine.sync_running` on
+  the one PCPU whose accounting they touch) instead of ``sync_all``; a
+  pass that actually runs still syncs every PCPU once per instant via
+  the memoised :meth:`Machine.sync_all`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+import heapq
+from fractions import Fraction
+from operator import attrgetter
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..guest.vcpu import VCPU
 from ..simcore.errors import ConfigurationError, SchedulingError
-from ..simcore.events import PRIORITY_BUDGET, PRIORITY_SCHEDULE, Event
+from ..simcore.events import PRIORITY_BUDGET, Event
 from .scheduler import HostScheduler
 
 
 class _Server:
     """Deferrable-server state for one RT VCPU."""
 
-    __slots__ = ("vcpu", "budget", "period", "remaining", "deadline", "replenish_event", "exhaust_event")
+    __slots__ = (
+        "vcpu",
+        "budget",
+        "period",
+        "remaining",
+        "deadline",
+        "key",
+        "replenish_event",
+        "exhaust_event",
+    )
 
     def __init__(self, vcpu: VCPU, budget: int, period: int) -> None:
         self.vcpu = vcpu
@@ -38,8 +70,20 @@ class _Server:
         self.period = period
         self.remaining = 0
         self.deadline = 0
+        #: Cached EDF sort key (deadline, vcpu uid); rebuilt on replenish
+        #: so selection never constructs per-server tuples in a loop.
+        self.key: Tuple[int, int] = (0, vcpu.uid)
         self.replenish_event: Optional[Event] = None
         self.exhaust_event: Optional[Event] = None
+
+
+_SERVER_KEY = attrgetter("key")
+
+
+def _has_work(vcpu: VCPU) -> bool:
+    """Inlined ``vcpu.vm.vcpu_has_work(vcpu)`` for the selection loops."""
+    vm = vcpu.vm
+    return (vm._pending_jobs if vm._is_gedf else vcpu._pending_jobs) > 0
 
 
 class EDFHostScheduler(HostScheduler):
@@ -51,6 +95,35 @@ class EDFHostScheduler(HostScheduler):
         super().__init__()
         self._servers: Dict[int, _Server] = {}  # vcpu uid -> server
         self._started = False
+        #: Servers with remaining budget (the incrementally-maintained
+        #: half of the eligibility predicate; the other half, "has
+        #: runnable work", is an O(1) counter check at use time).
+        self._ready: Dict[int, _Server] = {}
+        #: Lazy min-heap of (deadline, uid) entries.  An entry is valid
+        #: while it matches the server's current key and the server is
+        #: eligible; stale entries sort early (old deadlines lie in the
+        #: past) and are discarded as they surface.
+        self._heap: List[Tuple[int, int]] = []
+        #: Bumped on every change that can alter the scheduling
+        #: decision: replenish, exhaust, a VCPU gaining its first job,
+        #: a VCPU draining its last job, idling, add/remove.  A pass
+        #: requested while the counter still equals its value at the
+        #: last completed pass is provably a no-op and is elided.
+        self._mutations = 0
+        self._pass_mutations = -1
+        #: Dirty flag for reschedule requests coalesced at one instant;
+        #: re-checked by the engine post-hook once per event batch.
+        self._resched_pending = False
+        #: Servers holding a live exhaust timer (uid -> server), so the
+        #: disarm sweep in :meth:`_reschedule` visits at most m servers
+        #: instead of every registered one.
+        self._exhaust_armed: Dict[int, _Server] = {}
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        machine.engine.add_post_hook(self._flush_reschedule)
 
     # -- population ----------------------------------------------------------------
 
@@ -72,8 +145,10 @@ class EDFHostScheduler(HostScheduler):
         server = self._servers.pop(vcpu.uid, None)
         if server is None:
             return
+        self._ready.pop(vcpu.uid, None)
+        self._mutations += 1
         self.engine.cancel(server.replenish_event)
-        self.engine.cancel(server.exhaust_event)
+        self._disarm_exhaust(server)
         pcpu_index = self.machine.pcpu_of(vcpu)
         if pcpu_index is not None:
             self.machine.set_running(pcpu_index, None)
@@ -83,11 +158,16 @@ class EDFHostScheduler(HostScheduler):
 
     def _replenish(self, server: _Server) -> None:
         # Sync first: time consumed before this instant must drain the old
-        # budget, not the fresh one.
-        self.machine.sync_all()
+        # budget, not the fresh one.  Only this server's PCPU needs the
+        # sync — its budget is the only accounting the refill overwrites.
+        self.machine.sync_running(server.vcpu)
         now = self.engine.now
         server.remaining = server.budget
         server.deadline = now + server.period
+        server.key = (server.deadline, server.vcpu.uid)
+        self._ready[server.vcpu.uid] = server
+        heapq.heappush(self._heap, server.key)
+        self._mutations += 1
         server.replenish_event = self.engine.after(
             server.period,
             self._replenish,
@@ -95,25 +175,45 @@ class EDFHostScheduler(HostScheduler):
             priority=PRIORITY_BUDGET,
             name=f"replenish:{server.vcpu.name}",
         )
-        self._reschedule()
+        self._request_reschedule()
 
     def _exhaust(self, server: _Server) -> None:
         server.exhaust_event = None
-        self.machine.sync_all()  # account() drains the budget exactly
+        self._exhaust_armed.pop(server.vcpu.uid, None)
+        # account() on the occupied PCPU drains the budget exactly.
+        self.machine.sync_running(server.vcpu)
         if server.remaining > 0:  # raced with a preemption; timer is stale
             return
-        self._reschedule()
+        self._mutations += 1
+        self._request_reschedule()
 
     def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:
         server = self._servers.get(vcpu.uid)
-        if server is not None:
+        if server is not None and server.remaining > 0:
             server.remaining = max(0, server.remaining - elapsed)
+            if server.remaining == 0:
+                del self._ready[vcpu.uid]
 
     # -- notifications ------------------------------------------------------------------
 
     def on_vcpu_wake(self, vcpu: VCPU) -> None:
-        if vcpu.uid in self._servers:
-            self._reschedule()
+        server = self._servers.get(vcpu.uid)
+        if server is not None:
+            vm = vcpu.vm
+            pending = vm._pending_jobs if vm._is_gedf else vcpu._pending_jobs
+            if pending == 1:
+                # First job after an empty queue: the server just became
+                # eligible again.  Re-publish its key (its previous heap
+                # entry may have been discarded while it sat workless)
+                # and record the decision-input change.  A wake on top
+                # of existing work changes nothing the decision reads —
+                # the drain-at-now probe in :meth:`_request_reschedule`
+                # covers the one hidden input (budget hitting zero at
+                # this very instant, ahead of its exhaust timer).
+                if server.remaining > 0:
+                    heapq.heappush(self._heap, server.key)
+                self._mutations += 1
+            self._request_reschedule()
         elif vcpu in self._background:
             free = self._free_pcpus()
             if free:
@@ -122,18 +222,129 @@ class EDFHostScheduler(HostScheduler):
     def on_vcpu_idle(self, vcpu: VCPU, pcpu_index: int) -> None:
         # Deferrable behaviour: the server keeps its budget; the PCPU is
         # handed to the next eligible server or a background VCPU.
+        self._mutations += 1
+        self._request_reschedule()
+
+    def on_work_drained(self, vcpu: VCPU) -> None:
+        server = self._servers.get(vcpu.uid)
+        if server is not None and not vcpu.vm.vcpu_has_work(vcpu):
+            # The server's last job retired: it left the eligible set.
+            self._mutations += 1
+
+    # -- reschedule coalescing -----------------------------------------------------------
+
+    def _request_reschedule(self) -> None:
+        """Run a scheduling pass unless it would provably be a no-op.
+
+        If no decision input changed since the last completed pass
+        (mutation counter unchanged), the pass makes no placement, no
+        vacate, no charge, and no timer change — the eligible set and
+        its deadline order are exactly as the last pass left them, every
+        chosen server is still placed, and every exhaust re-arm dedups
+        because a *running* server's target ``now + remaining`` is
+        invariant while it runs.  Such requests stay coalesced in the
+        dirty flag; the engine post-hook clears (or, defensively,
+        flushes) them once per batch.
+
+        One decision input changes *without* a mutation bump: a running
+        server's budget draining to exactly zero at the current instant.
+        Its exhaust timer fires at the same instant but at BUDGET
+        priority, *after* any RELEASE-priority wake — and the old
+        eager-pass code observed the drain early through ``sync_all``'s
+        accounting and vacated the server one event earlier.  Exhaust
+        timers are exact while a server runs, so that case is precisely
+        "some armed exhaust timer has ``time == now``"; probe for it and
+        force the pass then.
+        """
+        self._resched_pending = True
+        if self._mutations == self._pass_mutations:
+            now = self.engine.now
+            for server in self._exhaust_armed.values():
+                event = server.exhaust_event
+                if (
+                    event is not None
+                    and not event.cancelled
+                    and not event.consumed
+                    and event.time == now
+                ):
+                    break  # a budget drains to zero right now: must pass
+            else:
+                return
+        self._run_reschedule()
+
+    def _run_reschedule(self) -> None:
+        self._resched_pending = False
         self._reschedule()
+        self._pass_mutations = self._mutations
+
+    def _flush_reschedule(self) -> None:
+        """Engine post-hook: settle requests coalesced during the batch.
+
+        A request elided by :meth:`_request_reschedule` was a no-op *at
+        request time*; every later decision-input change arrives with
+        its own request (wake/replenish/exhaust/idle all request
+        immediately, and a drained queue is followed by the machine's
+        idle report).  So elided requests are simply retired here — the
+        hook is the coalescing point, not a second decision site.
+        """
+        self._resched_pending = False
 
     # -- the scheduling decision -----------------------------------------------------------
 
     def _eligible(self) -> List[_Server]:
-        servers = [
-            s
-            for s in self._servers.values()
-            if s.remaining > 0 and s.vcpu.vm.vcpu_has_work(s.vcpu)
-        ]
-        servers.sort(key=lambda s: (s.deadline, s.vcpu.uid))
+        """Eligible servers sorted by (deadline, uid).
+
+        Iterates only the ready (budget-holding) index, not every
+        server; used by the partitioned variant and diagnostics.  The
+        global variant selects through the deadline heap instead.
+        """
+        servers = [s for s in self._ready.values() if _has_work(s.vcpu)]
+        servers.sort(key=_SERVER_KEY)
         return servers
+
+    def _eligible_count(self) -> int:
+        count = 0
+        for s in self._ready.values():
+            vcpu = s.vcpu
+            vm = vcpu.vm
+            if (vm._pending_jobs if vm._is_gedf else vcpu._pending_jobs) > 0:
+                count += 1
+        return count
+
+    def _choose(self) -> List[_Server]:
+        """The m earliest-deadline eligible servers, via the lazy heap.
+
+        Pops entries in key order, discarding stale ones (superseded
+        deadline, drained budget, no work, removed server) and deduping
+        repeats; chosen entries are pushed back so every eligible server
+        always keeps at least one live entry.  Equivalent to
+        ``self._eligible()[:m]`` without sorting the eligible set.
+        """
+        heap = self._heap
+        m = self.machine.pcpu_count
+        ready = self._ready
+        chosen: List[_Server] = []
+        seen: Set[int] = set()
+        while heap and len(chosen) < m:
+            deadline, uid = heap[0]
+            server = ready.get(uid)
+            if server is None or server.deadline != deadline or not _has_work(server.vcpu):
+                heapq.heappop(heap)  # stale: superseded, drained, or idle
+                continue
+            heapq.heappop(heap)
+            if uid not in seen:
+                seen.add(uid)
+                chosen.append(server)
+        for server in chosen:
+            heapq.heappush(heap, server.key)
+        if len(heap) > 64 + 4 * len(self._servers):
+            # Compact: rebuild from live keys (deterministic — depends
+            # only on scheduler state, not on wall time).
+            live = [s.key for s in self._ready.values()]
+            heap.clear()
+            heap.extend(live)
+            heapq.heapify(heap)
+        return chosen
 
     def _free_pcpus(self) -> List[int]:
         return [p.index for p in self.machine.pcpus if p.running_vcpu is None]
@@ -142,10 +353,8 @@ class EDFHostScheduler(HostScheduler):
         """Run the m earliest-deadline eligible servers; fill the rest."""
         machine = self.machine
         machine.sync_all()
-        eligible = self._eligible()
-        chosen = eligible[: machine.pcpu_count]
+        chosen = self._choose()
         chosen_uids: Set[int] = {s.vcpu.uid for s in chosen}
-        locations = machine.vcpu_locations()
 
         # Vacate PCPUs whose RT occupant is no longer chosen.
         for pcpu in machine.pcpus:
@@ -156,27 +365,31 @@ class EDFHostScheduler(HostScheduler):
                 machine.set_running(pcpu.index, None)
 
         # Place chosen servers, preferring their current PCPU (no migration).
-        pending = [s for s in chosen if machine.pcpu_of(s.vcpu) is None]
-        for server in pending:
-            target = self._pick_pcpu_for(server, chosen_uids)
-            if target is None:
-                raise SchedulingError(
-                    f"no PCPU available for chosen server {server.vcpu.name}"
-                )
-            machine.charge_schedule(target, elements=len(eligible))
-            machine.set_running(target, server.vcpu)
-            self._arm_exhaust(server)
+        locations = machine._vcpu_pcpu
+        pending = [s for s in chosen if s.vcpu.uid not in locations]
+        if pending:
+            elements = self._eligible_count()
+            for server in pending:
+                target = self._pick_pcpu_for(server, chosen_uids)
+                if target is None:
+                    raise SchedulingError(
+                        f"no PCPU available for chosen server {server.vcpu.name}"
+                    )
+                machine.charge_schedule(target, elements=elements)
+                machine.set_running(target, server.vcpu)
+                self._arm_exhaust(server)
 
         # Maintain exhaust timers for servers that kept their PCPU.
         for server in chosen:
             if server not in pending:
                 self._arm_exhaust(server)
-        for server in self._servers.values():
-            if server.vcpu.uid not in chosen_uids:
-                self._disarm_exhaust(server)
+        # Only servers in the armed registry can hold a live timer, so
+        # de-scheduled servers outside it need no visit.
+        stale = [s for u, s in self._exhaust_armed.items() if u not in chosen_uids]
+        for server in stale:
+            self._disarm_exhaust(server)
 
-        for index in self._free_pcpus():
-            self.fill_with_background(index)
+        self.fill_free_pcpus()
 
     def _pick_pcpu_for(self, server: _Server, chosen_uids: Set[int]) -> Optional[int]:
         free = self._free_pcpus()
@@ -192,7 +405,12 @@ class EDFHostScheduler(HostScheduler):
     def _arm_exhaust(self, server: _Server) -> None:
         target = self.engine.now + server.remaining
         event = server.exhaust_event
-        if event is not None and event.active and event.time == target:
+        if (
+            event is not None
+            and not event.cancelled
+            and not event.consumed
+            and event.time == target
+        ):
             return
         self._disarm_exhaust(server)
         if server.remaining <= 0:
@@ -204,11 +422,13 @@ class EDFHostScheduler(HostScheduler):
             priority=PRIORITY_BUDGET,
             name=f"exhaust:{server.vcpu.name}",
         )
+        self._exhaust_armed[server.vcpu.uid] = server
 
     def _disarm_exhaust(self, server: _Server) -> None:
         if server.exhaust_event is not None:
             self.engine.cancel(server.exhaust_event)
             server.exhaust_event = None
+        self._exhaust_armed.pop(server.vcpu.uid, None)
 
     # -- lifecycle ------------------------------------------------------------------------
 
@@ -224,11 +444,14 @@ class EDFHostScheduler(HostScheduler):
 class PartitionedEDFHostScheduler(EDFHostScheduler):
     """RT-Xen's partitioned configuration: pEDF + deferrable server.
 
-    Each VCPU server is statically bound to one PCPU (first-fit
-    decreasing by bandwidth at add time, or explicitly via *pcpu*); each
-    PCPU runs EDF over its own servers with no migration.  The paper
-    compares against RT-Xen's *best* configuration (gEDF); this variant
-    completes the RT-Xen 2.0 design space for ablations.
+    Each VCPU server is statically bound to one PCPU — first-fit
+    **decreasing** by bandwidth when a batch is placed via
+    :meth:`add_vcpus` (or explicitly via *pcpu*); single additions
+    through :meth:`add_vcpu` first-fit in arrival order, which is only
+    FFD when callers add VCPUs in decreasing-bandwidth order.  Each PCPU
+    runs EDF over its own servers with no migration.  The paper compares
+    against RT-Xen's *best* configuration (gEDF); this variant completes
+    the RT-Xen 2.0 design space for ablations.
     """
 
     name = "host-pedf-ds"
@@ -236,34 +459,49 @@ class PartitionedEDFHostScheduler(EDFHostScheduler):
     def __init__(self) -> None:
         super().__init__()
         self._home: Dict[int, int] = {}  # vcpu uid -> pcpu index
-        self._loads: Dict[int, float] = {}
+        # Exact rational loads: no float drift across add/remove cycles.
+        self._loads: Dict[int, Fraction] = {}
 
     def add_vcpu(self, vcpu: VCPU, pcpu: Optional[int] = None) -> None:
-        """Bind *vcpu* to a PCPU (first-fit decreasing when unspecified)."""
+        """Bind *vcpu* to a PCPU (first-fit by current load when unspecified)."""
         if pcpu is None:
-            bw = float(vcpu.bandwidth)
+            bw = vcpu.bandwidth
             pcpu = self._first_fit(bw)
             if pcpu is None:
                 raise ConfigurationError(
-                    f"no PCPU has {bw:.3f} bandwidth free for {vcpu.name} "
+                    f"no PCPU has {float(bw):.3f} bandwidth free for {vcpu.name} "
                     "(partitioned placement)"
                 )
         elif not 0 <= pcpu < self.machine.pcpu_count:
             raise ConfigurationError(f"no PCPU {pcpu}")
         super().add_vcpu(vcpu)
         self._home[vcpu.uid] = pcpu
-        self._loads[pcpu] = self._loads.get(pcpu, 0.0) + float(vcpu.bandwidth)
+        self._loads[pcpu] = self._loads.get(pcpu, Fraction(0)) + vcpu.bandwidth
 
-    def _first_fit(self, bw: float) -> Optional[int]:
+    def add_vcpus(self, vcpus: List[VCPU]) -> None:
+        """Place a batch first-fit **decreasing** by bandwidth.
+
+        Sorting the batch by decreasing bandwidth (ties broken by uid
+        for determinism) before first-fit is the classic FFD bin-packing
+        heuristic the docstring promises; arrival-order packing can
+        strand large servers that FFD would fit.
+        """
+        for vcpu in sorted(vcpus, key=lambda v: (-v.bandwidth, v.uid)):
+            self.add_vcpu(vcpu)
+
+    def _first_fit(self, bw: Fraction) -> Optional[int]:
         for index in range(self.machine.pcpu_count):
-            if self._loads.get(index, 0.0) + bw <= 1.0 + 1e-12:
+            if self._loads.get(index, Fraction(0)) + bw <= 1:
                 return index
         return None
 
     def remove_vcpu(self, vcpu: VCPU) -> None:
         home = self._home.pop(vcpu.uid, None)
         if home is not None:
-            self._loads[home] = self._loads.get(home, 0.0) - float(vcpu.bandwidth)
+            load = self._loads.get(home, Fraction(0)) - vcpu.bandwidth
+            # Exact arithmetic cannot go negative unless bookkeeping is
+            # broken elsewhere; clamp defensively all the same.
+            self._loads[home] = load if load > 0 else Fraction(0)
         super().remove_vcpu(vcpu)
 
     def _reschedule(self) -> None:

@@ -61,14 +61,41 @@ class Machine:
         self._vcpu_last_pcpu: Dict[int, int] = {}  # for migration detection
         self._started = False
         self._kick = None
+        #: PCPUs whose guest dispatch must be re-evaluated by the next
+        #: refresh pass.  Every state change that can alter a PCPU's
+        #: pick_job() answer, its completion target, or its idleness
+        #: marks it here; untouched PCPUs are skipped entirely.
+        self._dirty_pcpus: set = set(range(pcpu_count))
+        #: gEDF guests couple their VCPUs through the claim table, so a
+        #: refresh of one PCPU can change another's pick; fall back to
+        #: scanning every occupied PCPU when such a VM is attached.
+        self._has_gedf_vm = False
+        #: Timestamp of the last full sync sweep (sync_all memoisation:
+        #: a second sweep at the same instant is always a no-op).
+        self._all_synced_at = -1
         engine.add_post_hook(self._refresh)
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: Trace) -> None:
+        # Cache the "is anyone listening" test: the hot paths check a
+        # plain attribute instead of a NullTrace isinstance per segment.
+        self._trace = value
+        self._tracing = not isinstance(value, NullTrace)
 
     def _request_refresh(self) -> None:
         """Guarantee a refresh pass runs at the current instant.
 
         State changes made outside event handlers (e.g. a scheduler's
         synchronous start-up) would otherwise wait for the next event.
+        Inside a batch no event is needed: the post-event refresh hook
+        runs when the batch drains.
         """
+        if self.engine.in_batch:
+            return
         if self._kick is None or not self._kick.active:
             self._kick = self.engine.at(
                 self.engine.now, _noop, priority=PRIORITY_SCHEDULE, name="refresh-kick"
@@ -91,6 +118,8 @@ class Machine:
             raise ConfigurationError(f"VM {vm.name} is already attached")
         vm.machine = self
         self.vms.append(vm)
+        if vm._is_gedf:
+            self._has_gedf_vm = True
 
     def vcpu_locations(self) -> Dict[int, int]:
         """Mapping of running VCPU uid -> PCPU index."""
@@ -105,24 +134,32 @@ class Machine:
     def sync_pcpu(self, pcpu: PCPU) -> None:
         """Charge execution on *pcpu* from its last sync point to now."""
         now = self.engine.now
-        elapsed = now - pcpu.last_sync
+        last = pcpu.last_sync
+        if last == now:
+            return
+        elapsed = now - last
         if elapsed < 0:  # pragma: no cover - engine invariant
             raise SchedulingError(f"PCPU {pcpu.index} synced into the past")
-        if elapsed == 0:
-            return
-        overhead = max(0, min(now, pcpu.overhead_until) - pcpu.last_sync)
+        until = pcpu.overhead_until
+        if until > last:
+            overhead = (until if until < now else now) - last
+        else:
+            overhead = 0
         effective = elapsed - overhead
-        usage = self.metrics.pcpu(pcpu.index)
+        usage = pcpu.usage
+        if usage is None:
+            usage = pcpu.usage = self.metrics.pcpu(pcpu.index)
         usage.overhead += overhead
         vcpu = pcpu.running_vcpu
         job = pcpu.current_job
         if vcpu is not None and job is not None and effective > 0:
             job.charge(effective)
             usage.busy += effective
-            self.trace.record_segment(
-                pcpu.index, vcpu.name, job.task.name, max(pcpu.last_sync, now - effective), now
-            )
-            if job.done:
+            if self._tracing:
+                self.trace.record_segment(
+                    pcpu.index, vcpu.name, job.task.name, max(last, now - effective), now
+                )
+            if job.remaining == 0:
                 # Retire immediately: a preemption at this exact instant
                 # would otherwise cancel the pending completion event and
                 # leave the finished job clogging the guest queue.
@@ -132,9 +169,30 @@ class Machine:
         pcpu.last_sync = now
 
     def sync_all(self) -> None:
-        """Charge execution on every PCPU up to now."""
+        """Charge execution on every PCPU up to now.
+
+        Memoised per instant: once every PCPU has been synced at the
+        current time a repeat sweep is a no-op (``sync_pcpu`` with zero
+        elapsed does nothing), so callers on the hot path can invoke
+        this freely without paying O(pcpus) more than once per batch.
+        """
+        now = self.engine.now
+        if self._all_synced_at == now:
+            return
         for pcpu in self.pcpus:
-            self.sync_pcpu(pcpu)
+            if pcpu.last_sync != now:
+                self.sync_pcpu(pcpu)
+        self._all_synced_at = now
+
+    def sync_running(self, vcpu: VCPU) -> None:
+        """Sync only the PCPU occupied by *vcpu* (no-op when not running).
+
+        Targeted alternative to :meth:`sync_all` for scheduler paths that
+        touch a single VCPU's accounting (budget replenish/exhaust).
+        """
+        index = self._vcpu_pcpu.get(vcpu.uid)
+        if index is not None:
+            self.sync_pcpu(self.pcpus[index])
 
     # -- overhead windows -------------------------------------------------------------
 
@@ -143,6 +201,9 @@ class Machine:
             return
         now = self.engine.now
         pcpu.overhead_until = max(pcpu.overhead_until, now) + cost
+        # The overhead window pushes the PCPU's effective start, so any
+        # armed completion target is stale until the next refresh.
+        self._dirty_pcpus.add(pcpu.index)
 
     def charge_schedule(self, pcpu_index: int, elements: int = 0) -> None:
         """Charge one host schedule() invocation on *pcpu_index*.
@@ -213,13 +274,15 @@ class Machine:
                 self.metrics.overhead.record_migration(self.costs.migration_ns)
                 cost += self.costs.migration_ns
             self._extend_overhead(pcpu, cost)
-            self.trace.record_event(
-                self.engine.now, "switch", pcpu_index, vcpu.name, migrated
-            )
+            if self._tracing:
+                self.trace.record_event(
+                    self.engine.now, "switch", pcpu_index, vcpu.name, migrated
+                )
         pcpu.running_vcpu = vcpu
         pcpu.current_job = None
         pcpu.idle_notified = False
         self._cancel_completion(pcpu)
+        self._dirty_pcpus.add(pcpu_index)
         self._request_refresh()
 
     # -- notifications --------------------------------------------------------------------
@@ -229,8 +292,19 @@ class Machine:
         pcpu_index = self._vcpu_pcpu.get(vcpu.uid)
         if pcpu_index is not None:
             self.pcpus[pcpu_index].idle_notified = False
+            # A running VCPU's guest pick may change with the new job.
+            self._dirty_pcpus.add(pcpu_index)
         if self.host_scheduler is not None:
             self.host_scheduler.on_vcpu_wake(vcpu)
+
+    def notify_dispatch_change(self, vm: VM) -> None:
+        """Task churn in *vm* (register/adjust/unregister) may change the
+        guest pick of any of its running VCPUs; re-evaluate them."""
+        for pcpu in self.pcpus:
+            occupant = pcpu.running_vcpu
+            if occupant is not None and occupant.vm is vm:
+                self._dirty_pcpus.add(pcpu.index)
+        self._request_refresh()
 
     # -- completion management ----------------------------------------------------------------
 
@@ -268,51 +342,93 @@ class Machine:
         if pcpu.current_job is job:
             pcpu.current_job = None
         self._cancel_completion(pcpu)
-        self.trace.record_event(self.engine.now, "complete", job.task.name, job.index)
+        self._dirty_pcpus.add(pcpu.index)
+        vcpu = pcpu.running_vcpu
+        if vcpu is not None and self.host_scheduler is not None:
+            self.host_scheduler.on_work_drained(vcpu)
+        if self._tracing:
+            self.trace.record_event(self.engine.now, "complete", job.task.name, job.index)
 
     # -- the refresh pass ----------------------------------------------------------------------
 
     def _refresh(self) -> None:
         """Re-evaluate guest dispatch after every event batch.
 
-        For each occupied PCPU: pick the guest job to run (EDF inside the
-        guest), maintain the tentative completion event, and report
-        VCPUs that idle while holding a PCPU to the host scheduler.
+        Only PCPUs in the dirty set are touched: a PCPU whose dispatch
+        inputs did not change since its last refresh picks the same job,
+        keeps the same completion target (the target is invariant under
+        elapsed time while the job runs), and reports no new idleness —
+        so skipping it is an exact no-op.  The scan runs in ascending
+        PCPU order; marks added *behind* the scan position during the
+        pass are deferred to a kicked follow-up batch at the same
+        instant, which is precisely when the former full scan would have
+        handled them.
+
+        gEDF guests couple VCPUs through the claim table (one VCPU's
+        pick can change another's), so while such a VM is attached we
+        fall back to the full scan.
         """
         if self.host_scheduler is None:
             return
         now = self.engine.now
-        self.sync_all()
-        for pcpu in self.pcpus:
-            vcpu = pcpu.running_vcpu
-            if vcpu is None:
-                continue
-            job = vcpu.vm.pick_job(vcpu, now)
-            if job is not None and job.done:
-                job = None
-            if job is not pcpu.current_job:
-                if (
-                    pcpu.current_job is not None
-                    and job is not None
-                    and self.costs.guest_switch_ns > 0
-                ):
-                    self._extend_overhead(pcpu, self.costs.guest_switch_ns)
-                pcpu.current_job = job
-            if job is not None:
-                pcpu.idle_notified = False
-                self._schedule_completion(pcpu, job)
-            else:
-                self._cancel_completion(pcpu)
-                if not pcpu.idle_notified:
-                    pcpu.idle_notified = True
-                    self.engine.at(
-                        now,
-                        self._report_idle,
-                        pcpu,
-                        vcpu,
-                        priority=PRIORITY_SCHEDULE,
-                        name=f"idle:{vcpu.name}",
-                    )
+        if self._has_gedf_vm:
+            self.sync_all()
+            self._dirty_pcpus.clear()
+            for pcpu in self.pcpus:
+                self._refresh_pcpu(pcpu, now)
+            return
+        if not self._dirty_pcpus:
+            return
+        last = -1
+        while True:
+            ahead = [i for i in self._dirty_pcpus if i > last]
+            if not ahead:
+                break
+            index = min(ahead)
+            self._dirty_pcpus.discard(index)
+            last = index
+            self._refresh_pcpu(self.pcpus[index], now)
+            # Marks the processing itself put on this PCPU (a retire
+            # during its sync, a guest-switch overhead extension) are
+            # consumed by the pick/re-arm that follows them; drop them
+            # so they do not trigger a pointless kicked follow-up.
+            self._dirty_pcpus.discard(index)
+        if self._dirty_pcpus:
+            # Marks at or behind the scan front: handle next batch.
+            self._request_refresh()
+
+    def _refresh_pcpu(self, pcpu: PCPU, now: int) -> None:
+        """Re-evaluate guest dispatch on one PCPU (see :meth:`_refresh`)."""
+        self.sync_pcpu(pcpu)
+        vcpu = pcpu.running_vcpu
+        if vcpu is None:
+            return
+        job = vcpu.vm.pick_job(vcpu, now)
+        if job is not None and job.done:
+            job = None
+        if job is not pcpu.current_job:
+            if (
+                pcpu.current_job is not None
+                and job is not None
+                and self.costs.guest_switch_ns > 0
+            ):
+                self._extend_overhead(pcpu, self.costs.guest_switch_ns)
+            pcpu.current_job = job
+        if job is not None:
+            pcpu.idle_notified = False
+            self._schedule_completion(pcpu, job)
+        else:
+            self._cancel_completion(pcpu)
+            if not pcpu.idle_notified:
+                pcpu.idle_notified = True
+                self.engine.at(
+                    now,
+                    self._report_idle,
+                    pcpu,
+                    vcpu,
+                    priority=PRIORITY_SCHEDULE,
+                    name=f"idle:{vcpu.name}",
+                )
 
     def _report_idle(self, pcpu: PCPU, vcpu: VCPU) -> None:
         if pcpu.running_vcpu is not vcpu:

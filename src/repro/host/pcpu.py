@@ -26,6 +26,7 @@ class PCPU:
         "overhead_until",
         "completion_event",
         "idle_notified",
+        "usage",
     )
 
     def __init__(self, index: int) -> None:
@@ -40,6 +41,8 @@ class PCPU:
         self.completion_event: Optional[Event] = None
         #: Guard so an idle VCPU is reported to the host scheduler once.
         self.idle_notified: bool = False
+        #: Cached :class:`PcpuUsage` record (bound on first charge).
+        self.usage = None
 
     @property
     def busy(self) -> bool:

@@ -73,12 +73,12 @@ class HostScheduler(abc.ABC):
         if not self._background:
             return None
         n = len(self._background)
-        busy = self.machine.vcpu_locations() if self.machine else {}
+        machine = self.machine
         for offset in range(n):
             vcpu = self._background[(self._bg_cursor + offset) % n]
             if exclude is not None and vcpu in exclude:
                 continue
-            if vcpu.uid in busy:
+            if machine is not None and machine.pcpu_of(vcpu) is not None:
                 continue
             if vcpu.vm.vcpu_has_work(vcpu):
                 self._bg_cursor = (self._bg_cursor + offset + 1) % n
@@ -114,6 +114,36 @@ class HostScheduler(abc.ABC):
                 name="bg-rotate",
             )
 
+    def fill_free_pcpus(self) -> None:
+        """Hand every unoccupied PCPU to a background VCPU.
+
+        Equivalent to calling :meth:`fill_with_background` on each free
+        PCPU in index order, but stops scanning as soon as the pool has
+        no placeable background VCPU left: a ``None`` answer cannot turn
+        into a candidate by idling further PCPUs (nothing gains work and
+        nothing is descheduled), and ``set_running(index, None)`` on an
+        already-free PCPU is a no-op, so the remaining iterations of the
+        naive loop do nothing.
+        """
+        machine = self.machine
+        rotate = len(self._background) > 1
+        for pcpu in machine.pcpus:
+            if pcpu.running_vcpu is not None:
+                continue
+            vcpu = self.next_background_vcpu()
+            if vcpu is None:
+                return
+            machine.set_running(pcpu.index, vcpu)
+            if rotate:
+                self.engine.after(
+                    self.bg_quantum_ns,
+                    self._rotate_background,
+                    pcpu.index,
+                    vcpu,
+                    priority=PRIORITY_DEFAULT,
+                    name="bg-rotate",
+                )
+
     def _rotate_background(self, pcpu_index: int, vcpu: VCPU) -> None:
         if self.machine.pcpus[pcpu_index].running_vcpu is vcpu:
             self.fill_with_background(pcpu_index)
@@ -127,6 +157,14 @@ class HostScheduler(abc.ABC):
     @abc.abstractmethod
     def on_vcpu_idle(self, vcpu: VCPU, pcpu_index: int) -> None:
         """*vcpu* holds a PCPU but has nothing to run."""
+
+    def on_work_drained(self, vcpu: VCPU) -> None:
+        """A job of running *vcpu* retired (its queue may now be empty).
+
+        Fired synchronously at retirement, before the machine's idle
+        report; schedulers tracking decision-input changes (e.g. for
+        no-op pass elision) hook this.  Default: ignore.
+        """
 
     def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:
         """*vcpu* occupied *pcpu_index* for *elapsed* ns (wall-clock).

@@ -25,6 +25,7 @@ class Engine:
         self._queue = EventQueue()
         self._now = 0
         self._running = False
+        self._in_batch = False
         self._post_hooks: List[Callable[[], None]] = []
         self._events_processed = 0
 
@@ -37,6 +38,17 @@ class Engine:
     def events_processed(self) -> int:
         """Total number of events executed so far."""
         return self._events_processed
+
+    @property
+    def in_batch(self) -> bool:
+        """True while events of the current batch are being drained.
+
+        Post-event hooks are guaranteed to run once the batch drains, so
+        work requested from inside an event handler needs no extra
+        trigger event; work requested from a post-hook (or from outside
+        the engine) does.
+        """
+        return self._in_batch
 
     @property
     def pending(self) -> int:
@@ -128,12 +140,18 @@ class Engine:
         return next_time
 
     def _execute_batch(self, time: int) -> None:
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time != time:
-                break
-            event = self._queue.pop()
-            self._events_processed += 1
-            event.callback(*event.args)
+        queue = self._queue
+        processed = 0
+        self._in_batch = True
+        try:
+            while True:
+                event = queue.pop_at(time)
+                if event is None:
+                    break
+                processed += 1
+                event.callback(*event.args)
+        finally:
+            self._in_batch = False
+        self._events_processed += processed
         for hook in self._post_hooks:
             hook()

@@ -8,12 +8,23 @@ then on insertion order, which keeps the simulation deterministic.
 Cancellation is lazy: :meth:`EventQueue.cancel` marks the event and the
 queue discards it when it reaches the top of the heap.  This is the usual
 O(log n) heap discipline without the cost of re-heapifying on cancel.
+
+Event state machine: a pushed event is *pending* (``active``); it leaves
+that state exactly once, either by being popped (*consumed*) or by being
+cancelled.  The queue's live count is decremented on exactly that one
+transition, so ``len(queue)`` can never underflow — cancelling an event
+that already fired is a no-op, not a double decrement.
+
+The heap stores ``(time, priority, seq, event)`` tuples rather than the
+events themselves: heap sift comparisons then run entirely on C-level
+tuples instead of calling :meth:`Event.__lt__`, which matters because
+heap traffic dominates the engine's hot path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SimulationError
 
@@ -35,7 +46,7 @@ class Event:
     ``schedule_*`` helpers) rather than directly.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "consumed", "name")
 
     def __init__(
         self,
@@ -52,6 +63,9 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: True once the event has been popped (its callback ran or is
+        #: about to run).  A consumed event can no longer be cancelled.
+        self.consumed = False
         self.name = name or getattr(callback, "__name__", "event")
 
     def cancel(self) -> None:
@@ -60,8 +74,8 @@ class Event:
 
     @property
     def active(self) -> bool:
-        """True while the event is still pending and not cancelled."""
-        return not self.cancelled
+        """True while the event is still pending: neither cancelled nor fired."""
+        return not self.cancelled and not self.consumed
 
     def _key(self) -> tuple:
         return (self.time, self.priority, self.seq)
@@ -70,15 +84,25 @@ class Event:
         return self._key() < other._key()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.consumed:
+            state = "consumed"
+        else:
+            state = "pending"
         return f"<Event {self.name} t={self.time} prio={self.priority} {state}>"
+
+
+#: Heap entry: the comparison key inline, the event payload last.  The
+#: sequence number is unique, so comparisons never reach the event.
+_Entry = Tuple[int, int, int, Event]
 
 
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[_Entry] = []
         self._seq = 0
         self._live = 0
 
@@ -100,41 +124,70 @@ class EventQueue:
         if time < 0:
             raise SimulationError(f"cannot schedule an event at negative time {time}")
         event = Event(time, priority, self._seq, callback, args, name)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event (idempotent)."""
-        if not event.cancelled:
+        """Cancel a pending event.
+
+        Idempotent, and a no-op on events that already fired: only the
+        single pending→cancelled transition decrements the live count.
+        """
+        if not event.cancelled and not event.consumed:
             event.cancel()
             self._live -= 1
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def pop(self) -> Event:
-        """Remove and return the next live event.
+        """Remove and return the next live event, marking it consumed.
 
         Raises :class:`SimulationError` when the queue is empty.
         """
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             raise SimulationError("pop from an empty event queue")
-        event = heapq.heappop(self._heap)
+        event = heapq.heappop(heap)[3]
+        event.consumed = True
         self._live -= 1
         return event
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+    def pop_at(self, time: int) -> Optional[Event]:
+        """Pop the next live event iff it is scheduled at exactly *time*.
+
+        One heap inspection serves both the "is there more work at this
+        instant" test and the pop — the engine's batch loop hot path.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap or heap[0][0] != time:
+            return None
+        event = heapq.heappop(heap)[3]
+        event.consumed = True
+        self._live -= 1
+        return event
 
     def clear(self) -> None:
-        """Drop every pending event."""
+        """Drop every pending event.
+
+        Dropped events are marked cancelled so stale handles held by
+        components (e.g. a scheduler's exhaust timer) read as inactive
+        rather than forever-pending after a reset.
+        """
+        for _, _, _, event in self._heap:
+            if not event.consumed:
+                event.cancelled = True
         self._heap.clear()
         self._live = 0

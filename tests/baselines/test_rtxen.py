@@ -30,6 +30,31 @@ class TestConfiguration:
         assert vm.vcpus[0].budget_ns == msec(4)
         assert vm.vcpus[0].period_ns == msec(5)
 
+    def test_partitioned_host_option(self):
+        from repro.host.edf import PartitionedEDFHostScheduler
+
+        system = RTXenSystem(pcpu_count=2, cost_model=ZERO_COSTS, host="pedf")
+        assert isinstance(system.scheduler, PartitionedEDFHostScheduler)
+        # A VM batch is placed first-fit decreasing: the two large
+        # servers land on distinct PCPUs with the small ones beside
+        # them, a packing arrival-order first fit would refuse.
+        vm = system.create_vm(
+            "v",
+            interfaces=[
+                (msec(4), msec(10)),
+                (msec(4), msec(10)),
+                (msec(6), msec(10)),
+                (msec(6), msec(10)),
+            ],
+        )
+        homes = [system.scheduler._home[v.uid] for v in vm.vcpus]
+        assert homes[2] != homes[3]
+        assert homes[0] != homes[1]
+
+    def test_unknown_host_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTXenSystem(pcpu_count=1, host="credit")
+
     def test_multi_vcpu_vm(self):
         system = RTXenSystem(pcpu_count=2, cost_model=ZERO_COSTS)
         vm = system.create_vm(

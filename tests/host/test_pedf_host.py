@@ -56,6 +56,59 @@ class TestPlacement:
         with pytest.raises(ConfigurationError):
             add_server(system, sched, "a", 2, 10, pcpu=7)
 
+    def test_batch_placement_is_first_fit_decreasing(self):
+        # Bandwidths 0.4, 0.4, 0.6, 0.6 on two PCPUs: FFD packs them
+        # exactly (0.6+0.4 per PCPU); arrival-order first fit puts both
+        # 0.4s on PCPU 0 and strands the second 0.6.
+        system, sched = build(pcpus=2)
+        vcpus = []
+        for name, budget_ms in (("s0", 4), ("s1", 4), ("b0", 6), ("b1", 6)):
+            vm = VM(name, slack_ns=0)
+            vm.set_port(StaticPort())
+            system._attach(vm)
+            vm.configure_vcpu(0, msec(budget_ms), msec(10))
+            vcpus.append(vm.vcpus[0])
+        sched.add_vcpus(vcpus)
+        from fractions import Fraction
+
+        assert sched._loads[0] == sched._loads[1] == Fraction(1)
+        s0, s1, b0, b1 = vcpus
+        assert sched._home[b0.uid] != sched._home[b1.uid]
+        assert sched._home[s0.uid] != sched._home[s1.uid]
+
+    def test_arrival_order_single_adds_can_strand(self):
+        # The single-add path packs in arrival order by design; the same
+        # workload that add_vcpus() fits is rejected when added one by
+        # one in unfavourable order (documents the add_vcpus contract).
+        system, sched = build(pcpus=2)
+        add_server(system, sched, "s0", 4, 10, drive=False)
+        add_server(system, sched, "s1", 4, 10, drive=False)
+        add_server(system, sched, "b0", 6, 10, drive=False)
+        with pytest.raises(ConfigurationError):
+            add_server(system, sched, "b1", 6, 10, drive=False)
+
+    def test_loads_exact_across_add_remove_cycles(self):
+        # Regression: float loads drifted across repeated add/remove of
+        # bandwidths like 1/3, eventually refusing feasible placements.
+        from fractions import Fraction
+
+        system, sched = build(pcpus=1)
+        for cycle in range(50):
+            vm = VM(f"vm{cycle}", slack_ns=0)
+            vm.set_port(StaticPort())
+            system._attach(vm)
+            vm.configure_vcpu(0, msec(1), msec(3))
+            sched.add_vcpu(vm.vcpus[0])
+            sched.remove_vcpu(vm.vcpus[0])
+        assert sched._loads[0] == Fraction(0)
+        # A full-bandwidth server still fits after the churn.
+        vm = VM("full", slack_ns=0)
+        vm.set_port(StaticPort())
+        system._attach(vm)
+        vm.configure_vcpu(0, msec(10), msec(10))
+        sched.add_vcpu(vm.vcpus[0])
+        assert sched._loads[0] == Fraction(1)
+
 
 class TestExecution:
     def test_no_migration_ever(self):

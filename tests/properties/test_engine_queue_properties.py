@@ -1,0 +1,120 @@
+"""Property tests for event-queue accounting and the incremental
+host-EDF eligible structure.
+
+Two invariants pinned here guard the hot-path rework:
+
+- the engine's pending count never underflows, no matter how cancels,
+  fires, and stale-handle cancels interleave; and
+- the lazily-maintained deadline heap in :class:`EDFHostScheduler`
+  always selects exactly the servers a from-scratch filter+sort of the
+  full server table would select.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rtxen import RTXenSystem
+from repro.guest.task import Task
+from repro.simcore.engine import Engine
+from repro.simcore.events import EventQueue
+from repro.simcore.time import MSEC, msec
+from repro.workloads.periodic import PeriodicDriver
+
+# An op is (kind, index): push at a time, cancel the index-th created
+# event (possibly already fired — a stale handle), or fire the next one.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 1000)),
+        st.tuples(st.just("cancel"), st.integers(0, 40)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+@given(_ops)
+def test_queue_live_count_never_negative(ops):
+    """len(queue) stays exact under any cancel/fire interleaving."""
+    q = EventQueue()
+    created = []
+    expected_live = 0
+    for kind, arg in ops:
+        if kind == "push":
+            created.append(q.push(arg, lambda: None))
+            expected_live += 1
+        elif kind == "cancel" and arg < len(created):
+            event = created[arg]
+            if event.active:
+                expected_live -= 1
+            q.cancel(event)
+        elif kind == "pop" and expected_live:
+            q.pop()
+            expected_live -= 1
+        assert len(q) == expected_live >= 0
+
+
+@given(_ops)
+def test_engine_pending_never_negative(ops):
+    """engine.pending mirrors the queue under stale-handle cancels."""
+    engine = Engine()
+    created = []
+    for kind, arg in ops:
+        if kind == "push":
+            created.append(engine.at(arg + engine.now, lambda: None))
+        elif kind == "cancel" and arg < len(created):
+            engine.cancel(created[arg])
+            engine.cancel(created[arg])  # double-cancel must be free
+        elif kind == "pop" and engine.pending:
+            engine.run_until(engine.now + 1001)
+        assert engine.pending >= 0
+
+
+# Workload shapes for the eligible-structure check: (slice_ms, period_ms).
+_server_specs = st.lists(
+    st.tuples(st.integers(1, 6), st.integers(7, 30)),
+    min_size=2,
+    max_size=8,
+)
+
+
+@given(_server_specs, st.integers(1, 4), st.integers(1, 40))
+@settings(max_examples=20, deadline=None)
+def test_incremental_eligible_matches_from_scratch(specs, pcpus, probe_ms):
+    """The deadline heap selects what a full re-sort would select.
+
+    Runs a gEDF-DS system, stops at an arbitrary instant, and checks
+    the incremental structures against brute force over the raw server
+    table: the ready index holds exactly the budget-holding servers,
+    and ``_choose()`` returns the first m of the eligible set sorted by
+    (deadline, uid).
+    """
+    system = RTXenSystem(pcpu_count=pcpus)
+    for i, (s, p) in enumerate(specs):
+        vm = system.create_vm(f"vm{i}", interfaces=[(s * MSEC, p * MSEC)])
+        task = Task(f"t{i}", s * MSEC, p * MSEC)
+        system.register_rta(vm, task)
+        PeriodicDriver(system.engine, vm, task, phase_ns=(i * p * MSEC) // 8).start()
+    system.create_background_vm("bg", processes=1)
+    scheduler = system.scheduler
+
+    for _ in range(3):
+        system.run(msec(probe_ms))
+        # Brute force from the full server table.
+        brute = sorted(
+            (
+                server
+                for server in scheduler._servers.values()
+                if server.remaining > 0
+                and server.vcpu.vm.vcpu_has_work(server.vcpu)
+            ),
+            key=lambda server: (server.deadline, server.vcpu.uid),
+        )
+        assert sorted(scheduler._ready) == sorted(
+            uid
+            for uid, server in scheduler._servers.items()
+            if server.remaining > 0
+        )
+        assert scheduler._eligible() == brute
+        assert scheduler._choose() == brute[: pcpus]
+        # _choose must leave the structure able to answer again.
+        assert scheduler._choose() == brute[: pcpus]

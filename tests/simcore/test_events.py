@@ -87,6 +87,43 @@ class TestErrors:
         q.clear()
         assert not q
 
+    def test_cancel_after_fire_does_not_underflow_live_count(self):
+        # Regression: cancelling an event whose callback already ran used
+        # to decrement the live count a second time, so len() underflowed
+        # and the queue reported pending work that did not exist.
+        q = EventQueue()
+        fired = q.push(10, _noop)
+        q.push(20, _noop)
+        assert q.pop() is fired
+        assert len(q) == 1
+        q.cancel(fired)  # stale handle; must be a no-op
+        q.cancel(fired)
+        assert len(q) == 1
+        assert q.pop().time == 20
+        assert len(q) == 0
+
+    def test_popped_event_is_consumed_not_cancellable(self):
+        q = EventQueue()
+        e = q.push(5, _noop)
+        q.pop()
+        assert e.consumed
+        assert not e.active
+        q.cancel(e)
+        assert not e.cancelled  # consumed events never become cancelled
+
+    def test_clear_marks_dropped_events_inactive(self):
+        # Regression: clear() dropped the heap but left the events
+        # flagged active, so holders of stale handles (a scheduler's
+        # exhaust timer, say) believed the timer was still pending.
+        q = EventQueue()
+        events = [q.push(t, _noop) for t in (1, 2, 3)]
+        consumed = q.pop()
+        q.clear()
+        assert all(not e.active for e in events)
+        assert all(e.cancelled for e in events if e is not consumed)
+        assert consumed.consumed and not consumed.cancelled
+        assert len(q) == 0 and not q
+
 
 class TestEventState:
     def test_active_flag(self):

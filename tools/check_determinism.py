@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Determinism harness over the experiment registry.
+
+Runs every experiment in :mod:`repro.experiments.registry`, serialises
+each result's ``rows()`` to canonical JSON and hashes it.  Recording a
+baseline before an optimisation and checking against it afterwards
+proves the change preserved byte-identical metrics:
+
+    python tools/check_determinism.py --record baseline_metrics.json
+    ... hack on the scheduler hot path ...
+    python tools/check_determinism.py --check baseline_metrics.json
+
+Exit status is non-zero when any experiment's hash differs from the
+recorded baseline (or, with ``--check``, when an experiment appeared or
+disappeared).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import registry  # noqa: E402
+
+
+def _canonical(value):
+    """Make *value* JSON-serialisable without losing precision.
+
+    Floats are rendered through ``repr`` (shortest round-trip form), so
+    two runs hash identically iff every metric is bit-identical.
+    """
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def experiment_digest(experiment_id: str) -> dict:
+    """Run one experiment and return its row count and metrics hash."""
+    started = time.perf_counter()
+    result = registry.run(experiment_id)
+    elapsed = time.perf_counter() - started
+    rows = _canonical(result.rows())
+    blob = json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    return {
+        "rows": len(result.rows()),
+        "sha256": hashlib.sha256(blob).hexdigest(),
+        "wall_s": round(elapsed, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--record", metavar="PATH", help="write baseline hashes to PATH")
+    mode.add_argument("--check", metavar="PATH", help="compare against baseline at PATH")
+    parser.add_argument(
+        "--only",
+        metavar="IDS",
+        help="comma-separated experiment ids (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    ids = args.only.split(",") if args.only else registry.all_ids()
+    digests = {}
+    for experiment_id in ids:
+        print(f"[determinism] running {experiment_id} ...", flush=True)
+        digests[experiment_id] = experiment_digest(experiment_id)
+        print(
+            f"[determinism]   {experiment_id}: {digests[experiment_id]['sha256'][:16]} "
+            f"({digests[experiment_id]['wall_s']}s)",
+            flush=True,
+        )
+
+    if args.record:
+        with open(args.record, "w") as fh:
+            json.dump(digests, fh, indent=2, sort_keys=True)
+        print(f"[determinism] baseline written to {args.record}")
+        return 0
+
+    with open(args.check) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for experiment_id in ids:
+        if experiment_id not in baseline:
+            failures.append(f"{experiment_id}: not in baseline")
+            continue
+        want = baseline[experiment_id]["sha256"]
+        got = digests[experiment_id]["sha256"]
+        if want != got:
+            failures.append(f"{experiment_id}: hash {got[:16]} != baseline {want[:16]}")
+    if failures:
+        print("[determinism] FAIL")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"[determinism] OK — {len(ids)} experiments byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Performance-regression gate for the engine/scheduler hot path.
+
+Runs the tier-1 test suite, then the engine-throughput microbenchmark,
+and fails when events/sec regresses more than the tolerance (default
+20%) against the committed ``BENCH_engine.json``:
+
+    python tools/check_perf.py
+    python tools/check_perf.py --skip-tests          # benchmark only
+    python tools/check_perf.py --tolerance 0.1       # stricter gate
+    python tools/check_perf.py --repeat 3            # damp wall noise
+
+The benchmark compares best-of-``--repeat`` fresh runs so a loaded
+machine does not trip the gate spuriously; raise ``--repeat`` (or the
+tolerance) on noisy hardware.  Exit status: 0 on pass, 1 on test
+failure, 2 on throughput regression, 3 when no committed baseline
+exists yet (run the benchmark once to create it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+BASELINE = os.path.join(REPO_ROOT, "BENCH_engine.json")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+
+def run_tier1_tests() -> bool:
+    """Run the repository's tier-1 suite (pytest -x -q)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    return proc.returncode == 0
+
+
+def check_throughput(tolerance: float, repeat: int) -> int:
+    if not os.path.exists(BASELINE):
+        print(f"check_perf: no committed baseline at {BASELINE}")
+        print("check_perf: run benchmarks/bench_engine_throughput.py to create one")
+        return 3
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    from benchmarks.bench_engine_throughput import run_benchmark
+
+    best = None
+    for _ in range(max(1, repeat)):
+        record = run_benchmark()
+        if best is None or record["events_per_sec"] > best["events_per_sec"]:
+            best = record
+
+    reference = baseline["events_per_sec"]
+    fresh = best["events_per_sec"]
+    floor = reference * (1.0 - tolerance)
+    verdict = "ok" if fresh >= floor else "REGRESSION"
+    print(
+        f"check_perf: {fresh:.1f} events/sec vs baseline {reference:.1f} "
+        f"(floor {floor:.1f}, tolerance {tolerance:.0%}): {verdict}"
+    )
+    if best.get("events") != baseline.get("events"):
+        # Not fatal by itself, but a changed event count means behaviour
+        # moved, so the events/sec comparison is no longer like-for-like.
+        print(
+            f"check_perf: note: event count changed "
+            f"({baseline.get('events')} -> {best.get('events')}); "
+            "re-record BENCH_engine.json if the change is intended"
+        )
+    return 0 if fresh >= floor else 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional events/sec regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="benchmark runs; the best one is compared (default 3)",
+    )
+    parser.add_argument(
+        "--skip-tests", action="store_true",
+        help="skip the tier-1 suite and only run the benchmark gate",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.skip_tests:
+        print("check_perf: running tier-1 test suite ...")
+        if not run_tier1_tests():
+            print("check_perf: tier-1 tests failed")
+            return 1
+    return check_throughput(args.tolerance, args.repeat)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
