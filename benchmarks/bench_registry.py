@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Full-registry wall-time benchmark: serial vs parallel runner.
+
+Runs every registry experiment twice through ``repro.runner`` with the
+result cache disabled — once with one in-process job (the serial
+reference) and once across ``--jobs`` worker processes — and reports
+both wall times plus the speedup.  Run standalone to (re)generate
+``BENCH_registry.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_registry.py
+    PYTHONPATH=src python benchmarks/bench_registry.py --jobs 4 --out /tmp/b.json
+
+``tools/check_perf.py`` compares a fresh parallel run against the
+committed ``BENCH_registry.json`` and fails when the parallel
+full-registry wall time regresses by more than 15%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import registry  # noqa: E402
+from repro.runner import run_experiments  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_registry.json")
+
+
+def default_jobs() -> int:
+    """4 workers when the host has them, else every core (min 2)."""
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def time_run(jobs: int) -> dict:
+    """One cache-disabled full-registry run; returns wall + per-experiment cost."""
+    started = time.perf_counter()
+    report = run_experiments(jobs=jobs)
+    wall = time.perf_counter() - started
+    return {
+        "wall_s": round(wall, 2),
+        "per_experiment_s": {
+            r.experiment_id: round(r.unit_wall_s, 2) for r in report.reports
+        },
+    }
+
+
+def run_benchmark(jobs: int | None = None) -> dict:
+    """Serial and parallel full-registry timings (cache disabled)."""
+    jobs = jobs or default_jobs()
+    print(f"[bench-registry] serial run (1 job) ...", flush=True)
+    serial = time_run(1)
+    print(f"[bench-registry]   {serial['wall_s']}s", flush=True)
+    print(f"[bench-registry] parallel run ({jobs} jobs) ...", flush=True)
+    parallel = time_run(jobs)
+    print(f"[bench-registry]   {parallel['wall_s']}s", flush=True)
+    return {
+        "scenario": "full experiment registry, serial vs parallel runner",
+        "experiments": registry.all_ids(),
+        "serial_wall_s": serial["wall_s"],
+        "parallel_wall_s": parallel["wall_s"],
+        "speedup": round(serial["wall_s"] / parallel["wall_s"], 2),
+        "jobs": jobs,
+        "host_cpus": os.cpu_count(),
+        "per_experiment_serial_s": serial["per_experiment_s"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="parallel worker count"
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.jobs)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench-registry] written to {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

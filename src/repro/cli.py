@@ -3,7 +3,9 @@
     python -m repro list                 # show the experiment catalogue
     python -m repro run fig3             # regenerate Figure 3
     python -m repro run table2 fig1      # several at once
-    python -m repro run all              # the whole evaluation
+    python -m repro run all              # the whole evaluation, serially
+    python -m repro run-all --jobs 4     # the whole evaluation, in parallel
+    python -m repro run-all --only fig3,table1 --no-cache
 """
 
 from __future__ import annotations
@@ -29,6 +31,43 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="ID",
         help="experiment ids from `repro list`, or 'all'",
+    )
+    run_all = sub.add_parser(
+        "run-all",
+        help="run experiments through the parallel runner with result caching",
+    )
+    run_all.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: in-process, same work units)",
+    )
+    run_all.add_argument(
+        "--only",
+        metavar="IDS",
+        help="comma-separated experiment ids (default: the whole registry)",
+    )
+    run_all.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    run_all.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached results but store fresh ones",
+    )
+    run_all.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache location (default ./.repro_cache)",
+    )
+    run_all.add_argument(
+        "--summaries",
+        action="store_true",
+        help="print each experiment's summary after the timing table",
     )
     scenario = sub.add_parser(
         "scenario", help="run a declarative JSON scenario file"
@@ -63,6 +102,57 @@ def _cmd_run(ids: List[str]) -> int:
     return 0
 
 
+def _cmd_run_all(args) -> int:
+    from .experiments.common import format_table
+    from .runner import ResultCache, run_experiments
+    from .runner.cache import disabled_cache
+
+    ids: Optional[List[str]] = None
+    if args.only:
+        ids = [i.strip() for i in args.only.split(",") if i.strip()]
+        unknown = [i for i in ids if i not in registry.REGISTRY]
+        if unknown:
+            print(
+                f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr
+            )
+            print(f"known ids: {', '.join(registry.all_ids())}", file=sys.stderr)
+            return 2
+    if args.no_cache:
+        cache = disabled_cache()
+    else:
+        cache = ResultCache(path=args.cache_dir, refresh=args.refresh)
+
+    report = run_experiments(
+        ids, jobs=args.jobs, cache=cache, echo=lambda m: print(f"[run-all] {m}")
+    )
+
+    timing_rows = [
+        {
+            "experiment": r.experiment_id,
+            "units": r.units,
+            "cached": r.cached_units,
+            "unit_wall_s": round(r.unit_wall_s, 2),
+            "rows": len(r.rows),
+        }
+        for r in report.reports
+    ]
+    print(format_table(timing_rows, title="run-all — per-experiment timing"))
+    cache_note = (
+        "cache disabled"
+        if args.no_cache
+        else f"cache: {report.cache_hits} hits, {report.cache_misses} misses, "
+        f"{report.cache_writes} writes"
+    )
+    print(
+        f"total: {report.wall_s:.1f}s wall with {report.jobs} job(s); {cache_note}"
+    )
+    if args.summaries:
+        for r in report.reports:
+            print(f"\n=== {r.experiment_id}")
+            print(r.summary)
+    return 0
+
+
 def _cmd_scenario(path: str) -> int:
     from .scenario import run_scenario_file
 
@@ -76,6 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "run-all":
+        return _cmd_run_all(args)
     if args.command == "scenario":
         return _cmd_scenario(args.path)
     return _cmd_run(args.ids)

@@ -156,15 +156,33 @@ def _run_5a_credit(duration_ns: int, seed: int) -> SchedulerOutcome:
     return SchedulerOutcome("Credit", svc.latency, MEMCACHED_CREDIT_SHARE)
 
 
+#: Canonical Figure 5 scheduler order; also the per-scheduler shard ids
+#: used by the parallel runner.  Every scheduler run builds its own
+#: system and RandomStreams(seed), so shards reproduce the serial run.
+FIG5_SCHEDULERS = ("Credit", "RT-Xen A", "RT-Xen B", "RTVirt")
+
+
+def run_fig5a_scheduler(
+    scheduler: str, duration_ns: int = sec(60), seed: int = 17
+) -> SchedulerOutcome:
+    """One scheduler's outcome in scenario (a)."""
+    if scheduler == "Credit":
+        return _run_5a_credit(duration_ns, seed)
+    if scheduler == "RT-Xen A":
+        return _run_5a_rtxen(duration_ns, seed, "A")
+    if scheduler == "RT-Xen B":
+        return _run_5a_rtxen(duration_ns, seed, "B")
+    if scheduler == "RTVirt":
+        return _run_5a_rtvirt(duration_ns, seed)
+    raise KeyError(f"unknown Figure 5 scheduler {scheduler!r}")
+
+
 def run_fig5a(duration_ns: int = sec(60), seed: int = 17) -> Fig5Result:
     """Scenario (a): memcached vs 19 non-RTA CPU-bound VMs on 2 PCPUs."""
     return Fig5Result(
         scenario="a",
         outcomes=[
-            _run_5a_credit(duration_ns, seed),
-            _run_5a_rtxen(duration_ns, seed, "A"),
-            _run_5a_rtxen(duration_ns, seed, "B"),
-            _run_5a_rtvirt(duration_ns, seed),
+            run_fig5a_scheduler(s, duration_ns, seed) for s in FIG5_SCHEDULERS
         ],
     )
 
@@ -293,14 +311,26 @@ def _run_5b_credit(duration_ns: int, seed: int) -> SchedulerOutcome:
     )
 
 
+def run_fig5b_scheduler(
+    scheduler: str, duration_ns: int = sec(60), seed: int = 23
+) -> SchedulerOutcome:
+    """One scheduler's outcome in scenario (b)."""
+    if scheduler == "Credit":
+        return _run_5b_credit(duration_ns, seed)
+    if scheduler == "RT-Xen A":
+        return _run_5b_rtxen(duration_ns, seed, "A")
+    if scheduler == "RT-Xen B":
+        return _run_5b_rtxen(duration_ns, seed, "B")
+    if scheduler == "RTVirt":
+        return _run_5b_rtvirt(duration_ns, seed)
+    raise KeyError(f"unknown Figure 5 scheduler {scheduler!r}")
+
+
 def run_fig5b(duration_ns: int = sec(60), seed: int = 23) -> Fig5Result:
     """Scenario (b): 5 memcached VMs + 10 video VMs on 15 PCPUs."""
     return Fig5Result(
         scenario="b",
         outcomes=[
-            _run_5b_credit(duration_ns, seed),
-            _run_5b_rtxen(duration_ns, seed, "A"),
-            _run_5b_rtxen(duration_ns, seed, "B"),
-            _run_5b_rtvirt(duration_ns, seed),
+            run_fig5b_scheduler(s, duration_ns, seed) for s in FIG5_SCHEDULERS
         ],
     )

@@ -27,18 +27,41 @@ from . import (
 )
 
 
+# Full-length run parameters.  The serial runners below and the parallel
+# runner's work-unit plans (repro.runner.workunits) both read these, so
+# the two paths cannot drift apart.
+TABLE1_DURATION_NS = sec(20)
+SPORADIC_REQUESTS = 30
+SPORADIC_SEED = 7
+FIG4_DURATION_NS = sec(120)
+TABLE4_DURATION_NS = sec(40)
+TABLE4_SEED = 3
+FIG5A_DURATION_NS = sec(40)
+FIG5A_SEED = 17
+FIG5B_DURATION_NS = sec(20)
+FIG5B_SEED = 23
+TABLE6_DURATION_NS = sec(5)
+TABLE6_PCPUS = 15
+
+
 @dataclass(frozen=True)
 class ExperimentEntry:
-    """One table/figure of the paper's evaluation."""
+    """One table/figure of the paper's evaluation.
+
+    ``runner`` regenerates the full-length result; ``smoke`` runs a
+    sharply shortened variant of the same harness (seconds, not minutes)
+    so the whole catalogue can be exercised in the test suite.
+    """
 
     experiment_id: str
     paper_ref: str
     description: str
     runner: Callable[[], object]
+    smoke: Callable[[], object]
 
 
-def _fig1():
-    results = fig1_motivation.run_fig1()
+def _fig1(duration_ns: int = sec(30)):
+    results = fig1_motivation.run_fig1(duration_ns=duration_ns)
     # Combine both halves into one printable result.
     class _Combined:
         def summary(self) -> str:
@@ -56,60 +79,86 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         "Figure 1",
         "Motivation: uncoordinated two-level EDF misses RTA deadlines; RTVirt does not",
         _fig1,
+        smoke=lambda: _fig1(duration_ns=sec(2)),
     ),
     "table1": ExperimentEntry(
         "table1",
         "Table 1 / §4.2",
         "Periodic RTA groups: all deadlines met under RTVirt and RT-Xen",
-        lambda: table1_periodic.run_table1(duration_ns=sec(20)),
+        lambda: table1_periodic.run_table1(duration_ns=TABLE1_DURATION_NS),
+        smoke=lambda: table1_periodic.run_table1(
+            duration_ns=sec(2), groups=["H-Equiv"]
+        ),
     ),
     "table2": ExperimentEntry(
         "table2",
         "Table 2",
         "NH-Dec VM configurations under CSA (RT-Xen) and slack derivation (RTVirt)",
         table2_config.run_table2,
+        smoke=table2_config.run_table2,
     ),
     "fig3": ExperimentEntry(
         "fig3",
         "Figure 3",
         "CPU bandwidth requirement per group: required / allocated / claimed / RTVirt",
         fig3_bandwidth.run_fig3,
+        smoke=fig3_bandwidth.run_fig3,
     ),
     "sporadic": ExperimentEntry(
         "sporadic",
         "§4.2 sporadic",
         "Sporadic RTAs: 100 externally triggered requests per RTA, no misses",
-        lambda: sporadic_rtas.run_sporadic(requests_per_rta=30),
+        lambda: sporadic_rtas.run_sporadic(
+            requests_per_rta=SPORADIC_REQUESTS, seed=SPORADIC_SEED
+        ),
+        smoke=lambda: sporadic_rtas.run_sporadic(
+            requests_per_rta=2, groups=["H-Equiv"]
+        ),
     ),
     "fig4": ExperimentEntry(
         "fig4",
         "Figure 4 / Table 3",
         "Dynamic video-streaming RTAs with online admission",
-        lambda: fig4_dynamic.run_fig4(duration_ns=sec(120)),
+        lambda: fig4_dynamic.run_fig4(duration_ns=FIG4_DURATION_NS),
+        smoke=lambda: fig4_dynamic.run_fig4(duration_ns=sec(20)),
     ),
     "table4": ExperimentEntry(
         "table4",
         "Table 4",
         "memcached latency tail on a dedicated CPU per scheduler",
-        lambda: table4_dedicated.run_table4(duration_ns=sec(40)),
+        lambda: table4_dedicated.run_table4(
+            duration_ns=TABLE4_DURATION_NS, seed=TABLE4_SEED
+        ),
+        smoke=lambda: table4_dedicated.run_table4(duration_ns=sec(2)),
     ),
     "fig5a": ExperimentEntry(
         "fig5a",
         "Figure 5a",
         "memcached vs 19 non-RTA VMs on 2 PCPUs (SLO 500 µs p99.9)",
-        lambda: fig5_memcached.run_fig5a(duration_ns=sec(40)),
+        lambda: fig5_memcached.run_fig5a(
+            duration_ns=FIG5A_DURATION_NS, seed=FIG5A_SEED
+        ),
+        smoke=lambda: fig5_memcached.run_fig5a(duration_ns=sec(2)),
     ),
     "fig5b": ExperimentEntry(
         "fig5b",
         "Figure 5b",
         "5 memcached VMs + 10 video VMs on 15 PCPUs (SLO 500 µs p99.9)",
-        lambda: fig5_memcached.run_fig5b(duration_ns=sec(20)),
+        lambda: fig5_memcached.run_fig5b(
+            duration_ns=FIG5B_DURATION_NS, seed=FIG5B_SEED
+        ),
+        smoke=lambda: fig5_memcached.run_fig5b(duration_ns=sec(2)),
     ),
     "table6": ExperimentEntry(
         "table6",
         "Tables 5-6 / §4.5",
         "Scalability: 100 RTAs, overhead of schedule() and context switches",
-        lambda: table6_overhead.run_table6(duration_ns=sec(5)),
+        lambda: table6_overhead.run_table6(
+            duration_ns=TABLE6_DURATION_NS, pcpu_count=TABLE6_PCPUS
+        ),
+        smoke=lambda: table6_overhead.run_table6(
+            duration_ns=sec(1), analyze_rtxen=False
+        ),
     ),
 }
 
@@ -117,6 +166,11 @@ REGISTRY: Dict[str, ExperimentEntry] = {
 def run(experiment_id: str):
     """Run one experiment by id and return its result object."""
     return REGISTRY[experiment_id].runner()
+
+
+def run_smoke(experiment_id: str):
+    """Run the shortened (smoke) variant of one experiment."""
+    return REGISTRY[experiment_id].smoke()
 
 
 def all_ids() -> List[str]:

@@ -84,41 +84,50 @@ def _measure(system, vm, rng, register=None) -> LatencyRecorder:
     return svc
 
 
+#: Canonical Table 4 row order; also the experiment's shard ids for the
+#: parallel runner (each scheduler's run is fully independent: a fresh
+#: RandomStreams(seed) per scheduler, so shards reproduce the serial run).
+TABLE4_SCHEDULERS = ("Credit", "RT-Xen", "RTVirt")
+
+
+def run_table4_scheduler(
+    scheduler: str, duration_ns: int = sec(60), seed: int = 3
+) -> Dict[float, float]:
+    """One Table 4 row: the dedicated-CPU latency tail under *scheduler*."""
+    streams = RandomStreams(seed)
+    if scheduler == "Credit":
+        system = CreditSystem(
+            pcpu_count=1,
+            timeslice_ns=CREDIT_GLOBAL_TIMESLICE_NS,
+            ratelimit_ns=CREDIT_RATELIMIT_NS,
+            wake_overhead_ns=CREDIT_WAKE_OVERHEAD_NS,
+        )
+        vm = system.create_vm("mc")
+        svc = _measure(system, vm, streams.stream("mc"))
+    elif scheduler == "RT-Xen":
+        system = RTXenSystem(pcpu_count=1)
+        # Dedicated CPU: a full-bandwidth server (Θ = Π).
+        vm = system.create_vm("mc", interfaces=[(usec(500), usec(500))])
+        svc = _measure(system, vm, streams.stream("mc"), register=system.register_rta)
+    elif scheduler == "RTVirt":
+        system = RTVirtSystem(pcpu_count=1, slack_ns=0)
+        vm = system.create_vm("mc", slack_ns=0)
+        budget, period = MEMCACHED_RTVIRT_PARAMS
+        svc = MemcachedService(
+            system.engine, vm, streams.stream("mc"), period_ns=period, slice_ns=budget
+        ).start()
+    else:
+        raise KeyError(f"unknown Table 4 scheduler {scheduler!r}")
+    system.run(duration_ns)
+    system.finalize()
+    return svc.latency.tail_usec()
+
+
 def run_table4(duration_ns: int = sec(60), seed: int = 3) -> Table4Result:
     """Measure the dedicated-CPU latency tail under all three schedulers."""
-    tails: Dict[str, Dict[float, float]] = {}
-
-    streams = RandomStreams(seed)
-    credit = CreditSystem(
-        pcpu_count=1,
-        timeslice_ns=CREDIT_GLOBAL_TIMESLICE_NS,
-        ratelimit_ns=CREDIT_RATELIMIT_NS,
-        wake_overhead_ns=CREDIT_WAKE_OVERHEAD_NS,
+    return Table4Result(
+        {
+            scheduler: run_table4_scheduler(scheduler, duration_ns, seed)
+            for scheduler in TABLE4_SCHEDULERS
+        }
     )
-    vm = credit.create_vm("mc")
-    svc = _measure(credit, vm, streams.stream("mc"))
-    credit.run(duration_ns)
-    credit.finalize()
-    tails["Credit"] = svc.latency.tail_usec()
-
-    streams = RandomStreams(seed)
-    rtxen = RTXenSystem(pcpu_count=1)
-    # Dedicated CPU: a full-bandwidth server (Θ = Π).
-    vm = rtxen.create_vm("mc", interfaces=[(usec(500), usec(500))])
-    svc = _measure(rtxen, vm, streams.stream("mc"), register=rtxen.register_rta)
-    rtxen.run(duration_ns)
-    rtxen.finalize()
-    tails["RT-Xen"] = svc.latency.tail_usec()
-
-    streams = RandomStreams(seed)
-    rtvirt = RTVirtSystem(pcpu_count=1, slack_ns=0)
-    vm = rtvirt.create_vm("mc", slack_ns=0)
-    budget, period = MEMCACHED_RTVIRT_PARAMS
-    svc = MemcachedService(
-        rtvirt.engine, vm, streams.stream("mc"), period_ns=period, slice_ns=budget
-    ).start()
-    rtvirt.run(duration_ns)
-    rtvirt.finalize()
-    tails["RTVirt"] = svc.latency.tail_usec()
-
-    return Table4Result(tails)

@@ -210,14 +210,38 @@ def rtxen_single_rta_capacity(pcpu_count: int = 15) -> int:
     return fitted
 
 
+#: The two simulated scenarios, in Table 6 row order (shard ids for the
+#: parallel runner; each builds an independent RTVirtSystem).
+TABLE6_SCENARIOS = ("Multi-RTA", "Single-RTA")
+
+
+def run_table6_scenario(
+    scenario: str, duration_ns: int = sec(30), pcpu_count: int = 15
+) -> OverheadRun:
+    """One Table 6 scenario under RTVirt."""
+    if scenario not in TABLE6_SCENARIOS:
+        raise KeyError(f"unknown Table 6 scenario {scenario!r}")
+    return _run_rtvirt(scenario, duration_ns, pcpu_count)
+
+
+def rtxen_capacities(
+    pcpu_count: int = 15, analyze_rtxen: bool = True
+) -> Tuple[int, int]:
+    """The analytical RT-Xen capacity pair (multi-RTA groups, single-RTA VMs)."""
+    if not analyze_rtxen:
+        return (0, 0)
+    return (
+        rtxen_multi_rta_capacity(pcpu_count),
+        rtxen_single_rta_capacity(pcpu_count),
+    )
+
+
 def run_table6(
     duration_ns: int = sec(30), pcpu_count: int = 15, analyze_rtxen: bool = True
 ) -> Table6Result:
     """Both scenarios under RTVirt plus the RT-Xen capacity analysis."""
     runs = [
-        _run_rtvirt("Multi-RTA", duration_ns, pcpu_count),
-        _run_rtvirt("Single-RTA", duration_ns, pcpu_count),
+        run_table6_scenario(s, duration_ns, pcpu_count) for s in TABLE6_SCENARIOS
     ]
-    multi_cap = rtxen_multi_rta_capacity(pcpu_count) if analyze_rtxen else 0
-    single_cap = rtxen_single_rta_capacity(pcpu_count) if analyze_rtxen else 0
+    multi_cap, single_cap = rtxen_capacities(pcpu_count, analyze_rtxen)
     return Table6Result(runs, multi_cap, single_cap)

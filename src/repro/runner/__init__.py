@@ -1,0 +1,31 @@
+"""Parallel experiment-execution subsystem.
+
+Decomposes every registry experiment into independent *work units*
+(whole experiments, and per-shard runs where a harness exposes them),
+executes the units across a process pool, caches unit results under a
+content-addressed key, and reassembles per-experiment output that is
+byte-identical to the serial ``registry.run`` path.
+
+    from repro.runner import run_experiments, ResultCache
+
+    report = run_experiments(jobs=4, cache=ResultCache())
+    for exp in report.reports:
+        print(exp.experiment_id, exp.wall_s)
+"""
+
+from .cache import CACHE_DIR_NAME, ResultCache, code_salt
+from .executor import ExperimentReport, RunReport, run_experiments
+from .workunits import ExperimentPlan, WorkUnit, build_plans, plan_for
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "ExperimentPlan",
+    "ExperimentReport",
+    "ResultCache",
+    "RunReport",
+    "WorkUnit",
+    "build_plans",
+    "code_salt",
+    "plan_for",
+    "run_experiments",
+]

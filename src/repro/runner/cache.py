@@ -1,0 +1,166 @@
+"""Content-addressed result cache for experiment work units.
+
+Each cache entry stores the pickled part produced by one
+:class:`~repro.runner.workunits.WorkUnit`.  The entry's key is the
+SHA-256 of the unit's full input description — experiment id, unit id,
+function path, keyword arguments — plus a *code-version salt* hashed
+over every ``*.py`` file of the :mod:`repro` package.  Because the
+simulation is deterministic, those inputs fully determine the output, so
+a key hit can substitute for a run; because the salt covers the code,
+any source change (even to a transitively imported module) invalidates
+the whole cache rather than risking stale results.
+
+Layout on disk (default ``.repro_cache/`` under the working directory)::
+
+    .repro_cache/
+      ab/abcdef....pkl      # two-level fan-out by key prefix
+
+Entries are self-describing (unit id + function path ride along with the
+part) and written atomically via rename, so a crashed run never leaves a
+truncated entry that parses.  Corrupt or unreadable entries are treated
+as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+from .workunits import WorkUnit
+
+#: Default cache directory name, created under the current working directory.
+CACHE_DIR_NAME = ".repro_cache"
+
+_SALT_CACHE: dict = {}
+
+
+def code_salt(package_root: Optional[str] = None) -> str:
+    """Hash of every ``*.py`` file of the repro package (path + content).
+
+    File order is normalised (sorted relative paths) and mtimes are
+    ignored, so the salt is stable across checkouts and only moves when
+    source text actually changes.
+    """
+    if package_root is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    package_root = os.path.abspath(package_root)
+    cached = _SALT_CACHE.get(package_root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    entries = []
+    for dirpath, dirnames, filenames in os.walk(package_root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in filenames:
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                entries.append((os.path.relpath(path, package_root), path))
+    for relpath, path in sorted(entries):
+        digest.update(relpath.encode())
+        digest.update(b"\0")
+        with open(path, "rb") as fh:
+            digest.update(fh.read())
+        digest.update(b"\0")
+    salt = digest.hexdigest()
+    _SALT_CACHE[package_root] = salt
+    return salt
+
+
+class ResultCache:
+    """Persistent work-unit result store with hit/miss accounting.
+
+    ``enabled=False`` turns the cache into a no-op (``--no-cache``);
+    ``refresh=True`` ignores existing entries on read but still writes
+    fresh ones (``--refresh``).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        enabled: bool = True,
+        refresh: bool = False,
+        salt: Optional[str] = None,
+    ) -> None:
+        self.path = os.path.abspath(path or os.path.join(os.getcwd(), CACHE_DIR_NAME))
+        self.enabled = enabled
+        self.refresh = refresh
+        self._salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @property
+    def salt(self) -> str:
+        if self._salt is None:
+            self._salt = code_salt()
+        return self._salt
+
+    def key(self, unit: WorkUnit) -> str:
+        return unit.fingerprint(self.salt)
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], f"{key}.pkl")
+
+    def get(self, unit: WorkUnit) -> Tuple[bool, Any]:
+        """Look up *unit*; returns ``(hit, part)`` (part is None on miss)."""
+        if not self.enabled or self.refresh:
+            if self.enabled:
+                self.misses += 1
+            return (False, None)
+        entry_path = self._entry_path(self.key(unit))
+        try:
+            with open(entry_path, "rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("unit_id") != unit.unit_id:
+                raise ValueError("cache key collision")
+            self.hits += 1
+            return (True, entry["part"])
+        except FileNotFoundError:
+            self.misses += 1
+            return (False, None)
+        except Exception:
+            # Corrupt/incompatible entry: drop it and recompute.
+            try:
+                os.unlink(entry_path)
+            except OSError:
+                pass
+            self.misses += 1
+            return (False, None)
+
+    def put(self, unit: WorkUnit, part: Any) -> None:
+        """Store *unit*'s part (atomic write; no-op when disabled)."""
+        if not self.enabled:
+            return
+        entry_path = self._entry_path(self.key(unit))
+        os.makedirs(os.path.dirname(entry_path), exist_ok=True)
+        blob = pickle.dumps(
+            {
+                "experiment_id": unit.experiment_id,
+                "unit_id": unit.unit_id,
+                "fn": unit.fn,
+                "part": part,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        fd, tmp_path = tempfile.mkstemp(
+            dir=os.path.dirname(entry_path), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_path, entry_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+
+def disabled_cache() -> ResultCache:
+    """A cache that neither reads nor writes (and never hashes sources)."""
+    return ResultCache(enabled=False, salt="")

@@ -1,0 +1,166 @@
+"""Process-pool execution of experiment work units.
+
+The executor builds the work-unit plans for the selected experiments,
+resolves cache hits, fans the remaining units out over ``jobs`` worker
+processes, and reassembles each experiment's result **in canonical
+registry order** in the parent.  Scheduling order therefore never
+affects output: every unit is a pure function of its arguments (the
+simulation engine is deterministic and each shard seeds its own RNG
+streams), and assembly consumes parts by unit position, not completion
+order.  ``jobs=1`` runs the identical plans in-process — the parallel
+path differs only in *where* units execute.
+
+Workers are forked (POSIX) so they inherit ``sys.path`` and the warmed
+import state; on platforms without fork the default start method is
+used and units re-import :mod:`repro` from the worker's interpreter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache, disabled_cache
+from .workunits import ExperimentPlan, WorkUnit, build_plans, execute_unit
+
+
+@dataclass
+class ExperimentReport:
+    """Merged output and execution accounting of one experiment."""
+
+    experiment_id: str
+    rows: List[dict]
+    summary: str
+    units: int
+    cached_units: int
+    #: Summed wall time of the units actually executed (cache hits cost 0);
+    #: under ``jobs>1`` this is CPU-side cost, not elapsed time.
+    unit_wall_s: float
+
+
+@dataclass
+class RunReport:
+    """The full run: per-experiment reports in canonical registry order."""
+
+    reports: List[ExperimentReport]
+    wall_s: float
+    jobs: int
+    cache_hits: int
+    cache_misses: int
+    cache_writes: int
+
+    def report_for(self, experiment_id: str) -> ExperimentReport:
+        for report in self.reports:
+            if report.experiment_id == experiment_id:
+                return report
+        raise KeyError(experiment_id)
+
+
+def _timed_execute(unit: WorkUnit) -> Tuple[Any, float]:
+    """Worker body: run one unit, returning its part and wall time."""
+    started = time.perf_counter()
+    part = execute_unit(unit)
+    return part, time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer fork so workers inherit imports; fall back to the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _execute_misses(
+    misses: List[WorkUnit],
+    jobs: int,
+    echo: Optional[Callable[[str], None]],
+) -> Dict[WorkUnit, Tuple[Any, float]]:
+    """Run the uncached units, in-process or across the pool."""
+    results: Dict[WorkUnit, Tuple[Any, float]] = {}
+    if not misses:
+        return results
+    if jobs <= 1 or len(misses) == 1:
+        for unit in misses:
+            results[unit] = _timed_execute(unit)
+            if echo:
+                echo(f"ran {unit.unit_id} ({results[unit][1]:.1f}s)")
+        return results
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(misses)), mp_context=_pool_context()
+    ) as pool:
+        pending = {pool.submit(_timed_execute, unit): unit for unit in misses}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                unit = pending.pop(future)
+                results[unit] = future.result()
+                if echo:
+                    echo(f"ran {unit.unit_id} ({results[unit][1]:.1f}s)")
+    return results
+
+
+def run_experiments(
+    ids: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Run experiments (default: the whole registry) and merge their output.
+
+    ``cache=None`` disables caching; pass a :class:`ResultCache` to skip
+    unchanged work units on re-runs.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    cache = cache if cache is not None else disabled_cache()
+    started = time.perf_counter()
+
+    plans = build_plans(ids)
+    all_units = [unit for plan in plans for unit in plan.units]
+
+    parts: Dict[WorkUnit, Any] = {}
+    walls: Dict[WorkUnit, float] = {}
+    cached_units: set = set()
+    misses: List[WorkUnit] = []
+    for unit in all_units:
+        hit, part = cache.get(unit)
+        if hit:
+            parts[unit] = part
+            walls[unit] = 0.0
+            cached_units.add(unit)
+        else:
+            misses.append(unit)
+    if echo and cached_units:
+        echo(f"cache: {len(cached_units)}/{len(all_units)} units reused")
+
+    for unit, (part, wall) in _execute_misses(misses, jobs, echo).items():
+        parts[unit] = part
+        walls[unit] = wall
+        cache.put(unit, part)
+
+    reports: List[ExperimentReport] = []
+    for plan in plans:
+        result = plan.assemble([parts[unit] for unit in plan.units])
+        reports.append(
+            ExperimentReport(
+                experiment_id=plan.experiment_id,
+                rows=result.rows(),
+                summary=result.summary(),
+                units=len(plan.units),
+                cached_units=sum(1 for u in plan.units if u in cached_units),
+                unit_wall_s=sum(walls[u] for u in plan.units),
+            )
+        )
+
+    return RunReport(
+        reports=reports,
+        wall_s=time.perf_counter() - started,
+        jobs=jobs,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+        cache_writes=cache.writes,
+    )

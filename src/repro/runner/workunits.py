@@ -1,0 +1,287 @@
+"""Work-unit decomposition of the experiment registry.
+
+A :class:`WorkUnit` is one independent computation: a module-level
+function (referenced by dotted path so it pickles across processes) plus
+keyword arguments.  Each registry experiment maps to an
+:class:`ExperimentPlan` — an ordered tuple of units and an ``assemble``
+function that rebuilds the experiment's result object from the unit
+parts *in the parent process*.
+
+Two shapes of plan exist:
+
+- **Whole-experiment** plans have a single unit running
+  :func:`run_whole`, which executes ``registry.run(id)`` in the worker
+  and returns a plain ``{"rows", "summary"}`` payload (the rich result
+  objects of monolithic experiments are not all picklable; their rows
+  and summary always are, because the determinism harness JSON-encodes
+  them).
+- **Sharded** plans split an experiment along its independent axes
+  (per group × framework, per scheduler, per scenario).  Each shard
+  returns a small picklable part (``GroupRun``, ``SchedulerOutcome``,
+  tail dict, ``OverheadRun``), and ``assemble`` reconstructs the *same
+  result dataclass the serial runner builds*, so ``rows()`` and
+  ``summary()`` are produced by the very code the serial path uses —
+  byte-identical output by construction, not by parallel bookkeeping.
+
+Shards are only valid because every experiment harness seeds a fresh
+``RandomStreams`` (or none) per shard and builds its own simulated
+system: no state crosses shard boundaries in the serial loop either.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..experiments import registry
+from ..experiments.fig5_memcached import FIG5_SCHEDULERS, Fig5Result
+from ..experiments.table1_periodic import Table1Result
+from ..experiments.table4_dedicated import TABLE4_SCHEDULERS, Table4Result
+from ..experiments.table6_overhead import TABLE6_SCENARIOS, Table6Result
+from ..workloads.periodic import TABLE1_GROUPS
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent computation of an experiment plan."""
+
+    experiment_id: str
+    unit_id: str
+    fn: str  #: dotted path ``package.module:function`` (picklable reference)
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def fingerprint(self, salt: str) -> str:
+        """Content-addressed cache key: inputs + code-version salt."""
+        blob = "\0".join(
+            (self.experiment_id, self.unit_id, self.fn, repr(self.kwargs), salt)
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """The work units of one experiment plus their reassembly function."""
+
+    experiment_id: str
+    units: Tuple[WorkUnit, ...]
+    #: parts (one per unit, in unit order) -> object with rows()/summary()
+    assemble: Callable[[Sequence[Any]], Any]
+
+
+class PayloadResult:
+    """Result adapter around a precomputed ``{"rows", "summary"}`` payload."""
+
+    __slots__ = ("_rows", "_summary")
+
+    def __init__(self, rows: List[dict], summary: str) -> None:
+        self._rows = rows
+        self._summary = summary
+
+    def rows(self) -> List[dict]:
+        return self._rows
+
+    def summary(self) -> str:
+        return self._summary
+
+
+def resolve(fn_path: str) -> Callable[..., Any]:
+    """Import ``package.module:function`` and return the function."""
+    module_name, sep, attr = fn_path.partition(":")
+    if not sep:
+        raise ValueError(f"work-unit fn {fn_path!r} is not 'module:function'")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_unit(unit: WorkUnit) -> Any:
+    """Run one work unit (in whatever process this is) and return its part."""
+    return resolve(unit.fn)(**dict(unit.kwargs))
+
+
+def run_whole(experiment_id: str) -> Dict[str, Any]:
+    """Worker body for monolithic experiments: run and strip to a payload."""
+    result = registry.run(experiment_id)
+    return {"rows": result.rows(), "summary": result.summary()}
+
+
+# -- assembly functions (run in the parent, must be module-level) ---------------------
+
+
+def _assemble_payload(parts: Sequence[Any]) -> PayloadResult:
+    (payload,) = parts
+    return PayloadResult(payload["rows"], payload["summary"])
+
+
+def _assemble_table1(parts: Sequence[Any]) -> Table1Result:
+    return Table1Result(list(parts))
+
+
+def _assemble_table4(parts: Sequence[Any]) -> Table4Result:
+    return Table4Result(dict(zip(TABLE4_SCHEDULERS, parts)))
+
+
+def _assemble_fig5a(parts: Sequence[Any]) -> Fig5Result:
+    return Fig5Result(scenario="a", outcomes=list(parts))
+
+
+def _assemble_fig5b(parts: Sequence[Any]) -> Fig5Result:
+    return Fig5Result(scenario="b", outcomes=list(parts))
+
+
+def _assemble_table6(parts: Sequence[Any]) -> Table6Result:
+    multi, single, (multi_cap, single_cap) = parts
+    return Table6Result([multi, single], multi_cap, single_cap)
+
+
+# -- plan construction ----------------------------------------------------------------
+
+
+def _whole_plan(experiment_id: str) -> ExperimentPlan:
+    unit = WorkUnit(
+        experiment_id=experiment_id,
+        unit_id=f"{experiment_id}/whole",
+        fn="repro.runner.workunits:run_whole",
+        kwargs=(("experiment_id", experiment_id),),
+    )
+    return ExperimentPlan(experiment_id, (unit,), _assemble_payload)
+
+
+def _table1_plan() -> ExperimentPlan:
+    units = []
+    for group in TABLE1_GROUPS:
+        for framework, fn in (
+            ("RTVirt", "repro.experiments.table1_periodic:run_group_rtvirt"),
+            ("RT-Xen", "repro.experiments.table1_periodic:run_group_rtxen"),
+        ):
+            units.append(
+                WorkUnit(
+                    experiment_id="table1",
+                    unit_id=f"table1/{group}/{framework}",
+                    fn=fn,
+                    kwargs=(
+                        ("group", group),
+                        ("duration_ns", registry.TABLE1_DURATION_NS),
+                    ),
+                )
+            )
+    return ExperimentPlan("table1", tuple(units), _assemble_table1)
+
+
+def _sporadic_plan() -> ExperimentPlan:
+    units = []
+    for group in TABLE1_GROUPS:
+        for framework, fn in (
+            ("RTVirt", "repro.experiments.sporadic_rtas:run_group_sporadic_rtvirt"),
+            ("RT-Xen", "repro.experiments.sporadic_rtas:run_group_sporadic_rtxen"),
+        ):
+            units.append(
+                WorkUnit(
+                    experiment_id="sporadic",
+                    unit_id=f"sporadic/{group}/{framework}",
+                    fn=fn,
+                    kwargs=(
+                        ("group", group),
+                        ("requests_per_rta", registry.SPORADIC_REQUESTS),
+                        ("seed", registry.SPORADIC_SEED),
+                    ),
+                )
+            )
+    return ExperimentPlan("sporadic", tuple(units), _assemble_table1)
+
+
+def _table4_plan() -> ExperimentPlan:
+    units = tuple(
+        WorkUnit(
+            experiment_id="table4",
+            unit_id=f"table4/{scheduler}",
+            fn="repro.experiments.table4_dedicated:run_table4_scheduler",
+            kwargs=(
+                ("scheduler", scheduler),
+                ("duration_ns", registry.TABLE4_DURATION_NS),
+                ("seed", registry.TABLE4_SEED),
+            ),
+        )
+        for scheduler in TABLE4_SCHEDULERS
+    )
+    return ExperimentPlan("table4", units, _assemble_table4)
+
+
+def _fig5_plan(experiment_id: str) -> ExperimentPlan:
+    scenario = experiment_id[-1]  # "a" | "b"
+    duration = (
+        registry.FIG5A_DURATION_NS if scenario == "a" else registry.FIG5B_DURATION_NS
+    )
+    seed = registry.FIG5A_SEED if scenario == "a" else registry.FIG5B_SEED
+    units = tuple(
+        WorkUnit(
+            experiment_id=experiment_id,
+            unit_id=f"{experiment_id}/{scheduler}",
+            fn=f"repro.experiments.fig5_memcached:run_fig5{scenario}_scheduler",
+            kwargs=(
+                ("scheduler", scheduler),
+                ("duration_ns", duration),
+                ("seed", seed),
+            ),
+        )
+        for scheduler in FIG5_SCHEDULERS
+    )
+    assemble = _assemble_fig5a if scenario == "a" else _assemble_fig5b
+    return ExperimentPlan(experiment_id, units, assemble)
+
+
+def _table6_plan() -> ExperimentPlan:
+    units = [
+        WorkUnit(
+            experiment_id="table6",
+            unit_id=f"table6/{scenario}",
+            fn="repro.experiments.table6_overhead:run_table6_scenario",
+            kwargs=(
+                ("scenario", scenario),
+                ("duration_ns", registry.TABLE6_DURATION_NS),
+                ("pcpu_count", registry.TABLE6_PCPUS),
+            ),
+        )
+        for scenario in TABLE6_SCENARIOS
+    ]
+    units.append(
+        WorkUnit(
+            experiment_id="table6",
+            unit_id="table6/rtxen-capacity",
+            fn="repro.experiments.table6_overhead:rtxen_capacities",
+            kwargs=(("pcpu_count", registry.TABLE6_PCPUS),),
+        )
+    )
+    return ExperimentPlan("table6", tuple(units), _assemble_table6)
+
+
+_SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
+    "table1": _table1_plan,
+    "sporadic": _sporadic_plan,
+    "table4": _table4_plan,
+    "fig5a": lambda: _fig5_plan("fig5a"),
+    "fig5b": lambda: _fig5_plan("fig5b"),
+    "table6": _table6_plan,
+}
+
+
+def plan_for(experiment_id: str) -> ExperimentPlan:
+    """The work-unit plan of one registry experiment."""
+    if experiment_id not in registry.REGISTRY:
+        raise KeyError(f"unknown experiment id {experiment_id!r}")
+    builder = _SHARDED_PLANS.get(experiment_id)
+    return builder() if builder else _whole_plan(experiment_id)
+
+
+def build_plans(ids: Optional[Sequence[str]] = None) -> List[ExperimentPlan]:
+    """Plans for *ids* in canonical registry order (default: all)."""
+    order = registry.all_ids()
+    if ids is None:
+        selected = order
+    else:
+        unknown = sorted(set(ids) - set(order))
+        if unknown:
+            raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
+        wanted = set(ids)
+        selected = [i for i in order if i in wanted]
+    return [plan_for(i) for i in selected]

@@ -21,6 +21,15 @@ from .events import PRIORITY_DEFAULT, Event, EventQueue
 class Engine:
     """Deterministic discrete-event executor with an integer-ns clock."""
 
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_running",
+        "_in_batch",
+        "_post_hooks",
+        "_events_processed",
+    )
+
     def __init__(self) -> None:
         self._queue = EventQueue()
         self._now = 0
@@ -113,13 +122,15 @@ class Engine:
         if self._running:
             raise SimulationError("run_until() is not reentrant")
         self._running = True
+        peek_time = self._queue.peek_time
+        execute_batch = self._execute_batch
         try:
             while True:
-                next_time = self._queue.peek_time()
+                next_time = peek_time()
                 if next_time is None or next_time > end_time:
                     break
                 self._now = next_time
-                self._execute_batch(next_time)
+                execute_batch(next_time)
             self._now = end_time
         finally:
             self._running = False
@@ -140,12 +151,15 @@ class Engine:
         return next_time
 
     def _execute_batch(self, time: int) -> None:
-        queue = self._queue
+        # Hot path: everything needed inside the loop is bound to locals
+        # once per batch, and no per-batch scratch objects are allocated —
+        # the same hook list is reused across every batch of the run.
+        pop_at = self._queue.pop_at
         processed = 0
         self._in_batch = True
         try:
             while True:
-                event = queue.pop_at(time)
+                event = pop_at(time)
                 if event is None:
                     break
                 processed += 1

@@ -23,7 +23,7 @@ heap traffic dominates the engine's hot path.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SimulationError
@@ -101,6 +101,8 @@ _Entry = Tuple[int, int, int, Event]
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_seq", "_live")
+
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
         self._seq = 0
@@ -124,7 +126,7 @@ class EventQueue:
         if time < 0:
             raise SimulationError(f"cannot schedule an event at negative time {time}")
         event = Event(time, priority, self._seq, callback, args, name)
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        heappush(self._heap, (time, priority, self._seq, event))
         self._seq += 1
         self._live += 1
         return event
@@ -143,7 +145,7 @@ class EventQueue:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
         if not heap:
             return None
         return heap[0][0]
@@ -155,10 +157,10 @@ class EventQueue:
         """
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
         if not heap:
             raise SimulationError("pop from an empty event queue")
-        event = heapq.heappop(heap)[3]
+        event = heappop(heap)[3]
         event.consumed = True
         self._live -= 1
         return event
@@ -171,10 +173,10 @@ class EventQueue:
         """
         heap = self._heap
         while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
         if not heap or heap[0][0] != time:
             return None
-        event = heapq.heappop(heap)[3]
+        event = heappop(heap)[3]
         event.consumed = True
         self._live -= 1
         return event

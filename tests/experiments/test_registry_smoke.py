@@ -1,0 +1,30 @@
+"""Catalogue smoke test: every registry entry must run end to end.
+
+Each entry's shortened ``smoke`` variant is executed and must produce
+non-empty ``rows()`` and a string ``summary()`` — a new experiment that
+is registered but broken (or returns the wrong result shape) fails here
+rather than silently corrupting EXPERIMENTS.md or the benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import registry
+
+
+@pytest.mark.parametrize("experiment_id", registry.all_ids())
+def test_registry_entry_smoke(experiment_id):
+    result = registry.run_smoke(experiment_id)
+    rows = result.rows()
+    assert isinstance(rows, list) and rows, f"{experiment_id} returned no rows"
+    for row in rows:
+        assert isinstance(row, dict) and row
+    summary = result.summary()
+    assert isinstance(summary, str) and summary.strip()
+
+
+def test_smoke_variants_differ_from_full_runners():
+    """Smoke runners must stay cheap: they may not be the full runner
+    for the simulation-heavy entries."""
+    for experiment_id in ("table1", "fig4", "fig5a", "fig5b", "table6"):
+        entry = registry.REGISTRY[experiment_id]
+        assert entry.smoke is not entry.runner

@@ -1,0 +1,137 @@
+"""Tests for the content-addressed work-unit result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.runner.cache import ResultCache, code_salt, disabled_cache
+from repro.runner.workunits import WorkUnit
+
+UNIT = WorkUnit(
+    experiment_id="table2",
+    unit_id="table2/whole",
+    fn="repro.runner.workunits:run_whole",
+    kwargs=(("experiment_id", "table2"),),
+)
+
+
+def make_cache(tmp_path, **kw) -> ResultCache:
+    return ResultCache(path=str(tmp_path / "cache"), salt="s1", **kw)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = make_cache(tmp_path)
+        hit, part = cache.get(UNIT)
+        assert not hit and part is None
+        cache.put(UNIT, {"rows": [1, 2], "summary": "x"})
+        hit, part = cache.get(UNIT)
+        assert hit
+        assert part == {"rows": [1, 2], "summary": "x"}
+        assert (cache.hits, cache.misses, cache.writes) == (1, 1, 1)
+
+    def test_persists_across_instances(self, tmp_path):
+        make_cache(tmp_path).put(UNIT, "part")
+        hit, part = make_cache(tmp_path).get(UNIT)
+        assert hit and part == "part"
+
+    def test_preserves_non_json_types(self, tmp_path):
+        """Pickle storage keeps float dict keys (Table 4 tails) intact."""
+        cache = make_cache(tmp_path)
+        tails = {90.0: 1.5, 99.9: 2.25}
+        cache.put(UNIT, tails)
+        assert cache.get(UNIT)[1] == tails
+
+
+class TestInvalidation:
+    def test_salt_changes_key(self, tmp_path):
+        make_cache(tmp_path).put(UNIT, "old")
+        stale = ResultCache(path=str(tmp_path / "cache"), salt="s2")
+        hit, _ = stale.get(UNIT)
+        assert not hit
+
+    def test_kwargs_change_key(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "old")
+        other = WorkUnit(
+            UNIT.experiment_id, UNIT.unit_id, UNIT.fn, (("experiment_id", "fig3"),)
+        )
+        assert not cache.get(other)[0]
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part")
+        entry = cache._entry_path(cache.key(UNIT))
+        with open(entry, "wb") as fh:
+            fh.write(b"not a pickle")
+        hit, _ = cache.get(UNIT)
+        assert not hit
+        assert not os.path.exists(entry)
+
+    def test_unit_id_mismatch_is_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part")
+        entry = cache._entry_path(cache.key(UNIT))
+        with open(entry, "wb") as fh:
+            pickle.dump({"unit_id": "someone/else", "part": "x"}, fh)
+        assert not cache.get(UNIT)[0]
+
+
+class TestModes:
+    def test_refresh_skips_reads_but_writes(self, tmp_path):
+        make_cache(tmp_path).put(UNIT, "old")
+        refreshing = make_cache(tmp_path, refresh=True)
+        hit, _ = refreshing.get(UNIT)
+        assert not hit
+        refreshing.put(UNIT, "new")
+        assert make_cache(tmp_path).get(UNIT) == (True, "new")
+
+    def test_disabled_never_touches_disk(self, tmp_path):
+        cache = ResultCache(
+            path=str(tmp_path / "cache"), enabled=False, salt="s1"
+        )
+        cache.put(UNIT, "part")
+        assert not cache.get(UNIT)[0]
+        assert not os.path.exists(str(tmp_path / "cache"))
+
+    def test_disabled_cache_helper_needs_no_salt(self):
+        cache = disabled_cache()
+        assert not cache.enabled
+        assert cache.salt == ""
+
+
+class TestCodeSalt:
+    def test_stable_and_content_sensitive(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        (pkg / "b.py").write_text("y = 2\n")
+        first = code_salt(str(pkg))
+        # Memoised per root: clear the memo to force a re-walk.
+        from repro.runner import cache as cache_module
+
+        cache_module._SALT_CACHE.clear()
+        assert code_salt(str(pkg)) == first
+        cache_module._SALT_CACHE.clear()
+        (pkg / "a.py").write_text("x = 3\n")
+        assert code_salt(str(pkg)) != first
+        cache_module._SALT_CACHE.clear()
+
+    def test_ignores_non_python_files(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        from repro.runner import cache as cache_module
+
+        cache_module._SALT_CACHE.clear()
+        first = code_salt(str(pkg))
+        cache_module._SALT_CACHE.clear()
+        (pkg / "notes.txt").write_text("irrelevant")
+        assert code_salt(str(pkg)) == first
+        cache_module._SALT_CACHE.clear()
+
+    def test_repo_salt_is_hex(self):
+        salt = code_salt()
+        assert len(salt) == 64
+        int(salt, 16)

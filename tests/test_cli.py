@@ -18,6 +18,47 @@ class TestList:
         assert "Figure 3" in out and "Table 2" in out
 
 
+class TestRunAll:
+    def test_run_all_only_cheap_ids(self, capsys, tmp_path):
+        rc = main(
+            [
+                "run-all",
+                "--only",
+                "table2,fig3",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-experiment timing" in out
+        assert "table2" in out and "fig3" in out
+        assert "1 job(s)" in out
+
+    def test_run_all_warm_cache_reuses_units(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["run-all", "--only", "table2", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 1 hits, 0 misses" in out
+
+    def test_run_all_no_cache(self, capsys, tmp_path):
+        rc = main(["run-all", "--only", "fig3", "--no-cache"])
+        assert rc == 0
+        assert "cache disabled" in capsys.readouterr().out
+
+    def test_run_all_summaries(self, capsys, tmp_path):
+        rc = main(["run-all", "--only", "table2", "--no-cache", "--summaries"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "(4,5)" in out
+
+    def test_run_all_unknown_id(self, capsys):
+        assert main(["run-all", "--only", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestRun:
     def test_run_single(self, capsys):
         assert main(["run", "table2"]) == 0

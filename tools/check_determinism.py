@@ -10,9 +10,18 @@ proves the change preserved byte-identical metrics:
     ... hack on the scheduler hot path ...
     python tools/check_determinism.py --check baseline_metrics.json
 
+With ``--parallel N`` the same experiments are additionally executed
+through the parallel work-unit runner (``repro.runner``, N worker
+processes, cache disabled) and each experiment's merged ``rows()`` hash
+must equal the serial hash — the serial-vs-parallel equivalence gate:
+
+    python tools/check_determinism.py --parallel 4
+    python tools/check_determinism.py --check baseline.json --parallel 4
+
 Exit status is non-zero when any experiment's hash differs from the
 recorded baseline (or, with ``--check``, when an experiment appeared or
-disappeared).
+disappeared), or when the parallel runner's merged output diverges from
+the serial path.
 """
 
 from __future__ import annotations
@@ -44,23 +53,62 @@ def _canonical(value):
     return value
 
 
+def rows_hash(rows) -> str:
+    """Canonical JSON hash of an experiment's rows."""
+    blob = json.dumps(
+        _canonical(rows), sort_keys=True, separators=(",", ":")
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
 def experiment_digest(experiment_id: str) -> dict:
     """Run one experiment and return its row count and metrics hash."""
     started = time.perf_counter()
     result = registry.run(experiment_id)
     elapsed = time.perf_counter() - started
-    rows = _canonical(result.rows())
-    blob = json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    rows = result.rows()
     return {
-        "rows": len(result.rows()),
-        "sha256": hashlib.sha256(blob).hexdigest(),
+        "rows": len(rows),
+        "sha256": rows_hash(rows),
         "wall_s": round(elapsed, 2),
     }
 
 
+def check_parallel(ids, serial_digests, jobs: int) -> list:
+    """Serial-vs-parallel gate: rerun through the work-unit runner.
+
+    The runner executes each experiment's work units across *jobs*
+    processes with the cache disabled and merges in canonical order; the
+    merged rows must hash identically to the serial ``registry.run``
+    path, otherwise the shard decomposition (or the engine's determinism)
+    has broken.
+    """
+    from repro.runner import run_experiments
+
+    print(f"[determinism] parallel rerun with {jobs} job(s) ...", flush=True)
+    report = run_experiments(ids, jobs=jobs)
+    failures = []
+    for experiment_report in report.reports:
+        experiment_id = experiment_report.experiment_id
+        got = rows_hash(experiment_report.rows)
+        want = serial_digests[experiment_id]["sha256"]
+        verdict = "ok" if got == want else "DIVERGED"
+        print(
+            f"[determinism]   {experiment_id}: parallel {got[:16]} "
+            f"vs serial {want[:16]}: {verdict}",
+            flush=True,
+        )
+        if got != want:
+            failures.append(
+                f"{experiment_id}: parallel hash {got[:16]} != serial {want[:16]}"
+            )
+    print(f"[determinism] parallel rerun took {report.wall_s:.1f}s", flush=True)
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    mode = parser.add_mutually_exclusive_group(required=True)
+    mode = parser.add_mutually_exclusive_group(required=False)
     mode.add_argument("--record", metavar="PATH", help="write baseline hashes to PATH")
     mode.add_argument("--check", metavar="PATH", help="compare against baseline at PATH")
     parser.add_argument(
@@ -68,7 +116,16 @@ def main(argv=None) -> int:
         metavar="IDS",
         help="comma-separated experiment ids (default: all)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        metavar="JOBS",
+        help="also run the parallel work-unit runner with JOBS processes "
+        "and fail unless its merged output hashes equal the serial run's",
+    )
     args = parser.parse_args(argv)
+    if not (args.record or args.check or args.parallel):
+        parser.error("one of --record, --check or --parallel is required")
 
     ids = args.only.split(",") if args.only else registry.all_ids()
     digests = {}
@@ -81,29 +138,40 @@ def main(argv=None) -> int:
             flush=True,
         )
 
+    failures = []
+    if args.parallel:
+        failures.extend(check_parallel(ids, digests, args.parallel))
+
     if args.record:
         with open(args.record, "w") as fh:
             json.dump(digests, fh, indent=2, sort_keys=True)
         print(f"[determinism] baseline written to {args.record}")
-        return 0
+    elif args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        for experiment_id in ids:
+            if experiment_id not in baseline:
+                failures.append(f"{experiment_id}: not in baseline")
+                continue
+            want = baseline[experiment_id]["sha256"]
+            got = digests[experiment_id]["sha256"]
+            if want != got:
+                failures.append(
+                    f"{experiment_id}: hash {got[:16]} != baseline {want[:16]}"
+                )
 
-    with open(args.check) as fh:
-        baseline = json.load(fh)
-    failures = []
-    for experiment_id in ids:
-        if experiment_id not in baseline:
-            failures.append(f"{experiment_id}: not in baseline")
-            continue
-        want = baseline[experiment_id]["sha256"]
-        got = digests[experiment_id]["sha256"]
-        if want != got:
-            failures.append(f"{experiment_id}: hash {got[:16]} != baseline {want[:16]}")
     if failures:
         print("[determinism] FAIL")
         for line in failures:
             print(f"  {line}")
         return 1
-    print(f"[determinism] OK — {len(ids)} experiments byte-identical")
+    checks = []
+    if args.check:
+        checks.append("baseline")
+    if args.parallel:
+        checks.append("serial-vs-parallel")
+    suffix = f" ({' + '.join(checks)})" if checks else ""
+    print(f"[determinism] OK — {len(ids)} experiments byte-identical{suffix}")
     return 0
 
 

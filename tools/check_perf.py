@@ -1,20 +1,25 @@
 #!/usr/bin/env python
 """Performance-regression gate for the engine/scheduler hot path.
 
-Runs the tier-1 test suite, then the engine-throughput microbenchmark,
-and fails when events/sec regresses more than the tolerance (default
-20%) against the committed ``BENCH_engine.json``:
+Runs the tier-1 test suite, the engine-throughput microbenchmark
+(fails when events/sec regresses more than ``--tolerance``, default
+20%, against the committed ``BENCH_engine.json``), and the
+full-registry gate (fails when a parallel full-registry run through
+``repro.runner`` takes more than ``--registry-tolerance``, default 15%,
+longer than the committed ``BENCH_registry.json``):
 
     python tools/check_perf.py
-    python tools/check_perf.py --skip-tests          # benchmark only
-    python tools/check_perf.py --tolerance 0.1       # stricter gate
+    python tools/check_perf.py --skip-tests          # benchmarks only
+    python tools/check_perf.py --skip-registry       # engine gate only
+    python tools/check_perf.py --tolerance 0.1       # stricter engine gate
     python tools/check_perf.py --repeat 3            # damp wall noise
 
-The benchmark compares best-of-``--repeat`` fresh runs so a loaded
-machine does not trip the gate spuriously; raise ``--repeat`` (or the
-tolerance) on noisy hardware.  Exit status: 0 on pass, 1 on test
-failure, 2 on throughput regression, 3 when no committed baseline
-exists yet (run the benchmark once to create it).
+The engine benchmark compares best-of-``--repeat`` fresh runs so a
+loaded machine does not trip the gate spuriously; raise ``--repeat``
+(or the tolerances) on noisy hardware.  Exit status: 0 on pass, 1 on
+test failure, 2 on a throughput or registry wall-time regression, 3
+when a committed baseline is missing (run the matching benchmark once
+to create it).
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ import sys
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 BASELINE = os.path.join(REPO_ROOT, "BENCH_engine.json")
+REGISTRY_BASELINE = os.path.join(REPO_ROOT, "BENCH_registry.json")
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, REPO_ROOT)
@@ -81,6 +87,34 @@ def check_throughput(tolerance: float, repeat: int) -> int:
     return 0 if fresh >= floor else 2
 
 
+def check_registry_wall(tolerance: float, jobs: int = 0) -> int:
+    """Full-registry gate: parallel wall time vs ``BENCH_registry.json``.
+
+    The fresh run uses the baseline's job count (override with *jobs*)
+    and a disabled cache, so the comparison is like-for-like.
+    """
+    if not os.path.exists(REGISTRY_BASELINE):
+        print(f"check_perf: no committed baseline at {REGISTRY_BASELINE}")
+        print("check_perf: run benchmarks/bench_registry.py to create one")
+        return 3
+    with open(REGISTRY_BASELINE) as fh:
+        baseline = json.load(fh)
+
+    from benchmarks.bench_registry import time_run
+
+    jobs = jobs or int(baseline.get("jobs", 1))
+    print(f"check_perf: full-registry parallel run ({jobs} jobs) ...")
+    fresh = time_run(jobs)["wall_s"]
+    reference = baseline["parallel_wall_s"]
+    ceiling = reference * (1.0 + tolerance)
+    verdict = "ok" if fresh <= ceiling else "REGRESSION"
+    print(
+        f"check_perf: registry wall {fresh:.1f}s vs baseline {reference:.1f}s "
+        f"(ceiling {ceiling:.1f}s, tolerance {tolerance:.0%}): {verdict}"
+    )
+    return 0 if fresh <= ceiling else 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -88,12 +122,24 @@ def main(argv=None) -> int:
         help="allowed fractional events/sec regression (default 0.20)",
     )
     parser.add_argument(
+        "--registry-tolerance", type=float, default=0.15,
+        help="allowed fractional registry wall-time regression (default 0.15)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=3,
         help="benchmark runs; the best one is compared (default 3)",
     )
     parser.add_argument(
         "--skip-tests", action="store_true",
-        help="skip the tier-1 suite and only run the benchmark gate",
+        help="skip the tier-1 suite and only run the benchmark gates",
+    )
+    parser.add_argument(
+        "--skip-registry", action="store_true",
+        help="skip the full-registry wall-time gate",
+    )
+    parser.add_argument(
+        "--registry-jobs", type=int, default=0,
+        help="worker count for the registry gate (default: the baseline's)",
     )
     args = parser.parse_args(argv)
 
@@ -102,7 +148,12 @@ def main(argv=None) -> int:
         if not run_tier1_tests():
             print("check_perf: tier-1 tests failed")
             return 1
-    return check_throughput(args.tolerance, args.repeat)
+    status = check_throughput(args.tolerance, args.repeat)
+    if status:
+        return status
+    if args.skip_registry:
+        return 0
+    return check_registry_wall(args.registry_tolerance, args.registry_jobs)
 
 
 if __name__ == "__main__":
