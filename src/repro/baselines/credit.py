@@ -172,7 +172,11 @@ class CreditScheduler(HostScheduler):
                 continue
             info.credits -= self.tick_ns
             self.tick_samples[occupant.name] = self.tick_samples.get(occupant.name, 0) + 1
-        self.engine.after(self.tick_ns, self._tick, priority=PRIORITY_BUDGET, name="credit-tick")
+        delay = self.tick_ns
+        if self._jitter_source is not None:
+            # Fault injection: a sloppy tick timer samples late.
+            delay += self.timer_jitter()
+        self.engine.after(delay, self._tick, priority=PRIORITY_BUDGET, name="credit-tick")
 
     def _accounting(self) -> None:
         """Replenish credits by weight, park idlers, recompute priorities.
@@ -223,6 +227,8 @@ class CreditScheduler(HostScheduler):
     def _pick_next(self, pcpu_index: int) -> None:
         """Run the head of the highest non-empty priority queue."""
         machine = self.machine
+        if machine.pcpus[pcpu_index].failed:
+            return
         examined = 0
         chosen: Optional[_CreditVCPU] = None
         for priority in (BOOST, UNDER, OVER):
@@ -323,6 +329,8 @@ class CreditScheduler(HostScheduler):
         for pcpu in machine.pcpus:
             if not self._queues[BOOST]:
                 break
+            if pcpu.failed:
+                continue
             occupant = pcpu.running_vcpu
             if occupant is None:
                 if self.wake_overhead_ns:
@@ -355,7 +363,7 @@ class CreditScheduler(HostScheduler):
 
     def _fill_idle_pcpus(self) -> None:
         for pcpu in self.machine.pcpus:
-            if pcpu.running_vcpu is None:
+            if pcpu.running_vcpu is None and not pcpu.failed:
                 has_waiter = any(
                     self._runnable(i) and self.machine.pcpu_of(i.vcpu) is None
                     for q in self._queues.values()
@@ -367,6 +375,23 @@ class CreditScheduler(HostScheduler):
                     # "no waiter" for the rest of the loop.
                     return
                 self._pick_next(pcpu.index)
+
+    # -- fault hooks ---------------------------------------------------------------------------------
+
+    def on_pcpu_failed(self, pcpu_index: int, victim: Optional[VCPU]) -> None:
+        """Requeue the evicted occupant and let it preempt elsewhere."""
+        previous = self._slice_events.get(pcpu_index)
+        if previous is not None:
+            self.engine.cancel(previous)
+            self._slice_events[pcpu_index] = None
+        if victim is not None:
+            info = self._info.get(victim.uid)
+            if info is not None and self._runnable(info):
+                self._enqueue(info, front=False)
+        self._preempt_scan()
+
+    def on_pcpu_recovered(self, pcpu_index: int) -> None:
+        self._pick_next(pcpu_index)
 
     # -- lifecycle -----------------------------------------------------------------------------------
 

@@ -47,7 +47,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--only",
         metavar="IDS",
-        help="comma-separated experiment ids (default: the whole registry)",
+        help="comma-separated experiment ids or globs like 'robustness_*' "
+        "(default: the whole registry)",
+    )
+    run_all.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="override the RNG seed of seed-taking experiments "
+        "(robustness family); cache entries are keyed per seed",
     )
     run_all.add_argument(
         "--no-cache",
@@ -87,11 +95,13 @@ def _cmd_list() -> int:
 def _cmd_run(ids: List[str]) -> int:
     if ids == ["all"]:
         ids = registry.all_ids()
-    unknown = [i for i in ids if i not in registry.REGISTRY]
-    if unknown:
-        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"known ids: {', '.join(registry.all_ids())}", file=sys.stderr)
-        return 2
+    else:
+        try:
+            ids = registry.expand_ids(ids)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            print(f"known ids: {', '.join(registry.all_ids())}", file=sys.stderr)
+            return 2
     for experiment_id in ids:
         entry = registry.REGISTRY[experiment_id]
         print(f"=== {entry.paper_ref}: {entry.description}")
@@ -109,12 +119,11 @@ def _cmd_run_all(args) -> int:
 
     ids: Optional[List[str]] = None
     if args.only:
-        ids = [i.strip() for i in args.only.split(",") if i.strip()]
-        unknown = [i for i in ids if i not in registry.REGISTRY]
-        if unknown:
-            print(
-                f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr
-            )
+        patterns = [i.strip() for i in args.only.split(",") if i.strip()]
+        try:
+            ids = registry.expand_ids(patterns)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
             print(f"known ids: {', '.join(registry.all_ids())}", file=sys.stderr)
             return 2
     if args.no_cache:
@@ -123,7 +132,11 @@ def _cmd_run_all(args) -> int:
         cache = ResultCache(path=args.cache_dir, refresh=args.refresh)
 
     report = run_experiments(
-        ids, jobs=args.jobs, cache=cache, echo=lambda m: print(f"[run-all] {m}")
+        ids,
+        jobs=args.jobs,
+        cache=cache,
+        echo=lambda m: print(f"[run-all] {m}"),
+        seed=args.seed,
     )
 
     timing_rows = [

@@ -14,7 +14,7 @@ remaining capacity.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from ..guest.vcpu import VCPU
 from ..simcore.errors import ConfigurationError
@@ -86,3 +86,39 @@ class UtilizationAdmission:
     def release(self, vcpu: VCPU) -> None:
         """Forget *vcpu* entirely (VM teardown)."""
         self._granted.pop(vcpu.uid, None)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def set_pcpu_count(self, pcpu_count: int) -> None:
+        """Adjust capacity to a changed online-PCPU count (PCPU fail or
+        recovery).  Existing grants are untouched; call
+        :meth:`shed_to_capacity` to resolve any resulting overload."""
+        if pcpu_count < 1:
+            raise ConfigurationError("need at least one PCPU")
+        if not self.background_reserve < pcpu_count:
+            raise ConfigurationError(
+                f"background reserve {self.background_reserve} does not fit "
+                f"in {pcpu_count} PCPUs"
+            )
+        self.pcpu_count = pcpu_count
+
+    def shed_to_capacity(self) -> List[int]:
+        """Revoke grants (newest VCPU first) until the total fits capacity.
+
+        Returns the revoked uids in revocation order.  The newest-first
+        policy is deterministic and mirrors a hypervisor preferring to
+        keep its longest-standing contracts.
+        """
+        revoked: List[int] = []
+        total = self.total_granted
+        capacity = self.capacity
+        for uid in sorted(self._granted, reverse=True):
+            if total <= capacity:
+                break
+            bw = self._granted[uid]
+            if bw <= 0:
+                continue
+            self._granted[uid] = Fraction(0)
+            total -= bw
+            revoked.append(uid)
+        return revoked

@@ -151,9 +151,15 @@ class DPWrapScheduler(HostScheduler):
         """min over shared-memory deadlines, clamped to the slice bounds."""
         earliest = self.shared_memory.earliest(now)
         if earliest is None:
-            return now + self.idle_slice_ns
-        deadline = min(earliest, now + self.idle_slice_ns)
-        return max(deadline, now + self.min_global_slice_ns)
+            deadline = now + self.idle_slice_ns
+        else:
+            deadline = min(earliest, now + self.idle_slice_ns)
+            deadline = max(deadline, now + self.min_global_slice_ns)
+        if self._jitter_source is not None:
+            # Fault injection: the slice-boundary timer (DP-WRAP's budget
+            # replenishment point) fires late by up to the jitter bound.
+            deadline += self.timer_jitter()
+        return deadline
 
     def _new_slice(self) -> None:
         """Compute the next global deadline and wrap allocations (one DP step)."""
@@ -177,20 +183,36 @@ class DPWrapScheduler(HostScheduler):
 
         entries = self._rt_entries()
         machine = self.machine
+        # Failed PCPUs are excluded from the layout: slot k of the wrap
+        # maps to the k-th *available* PCPU.
+        avail = [p.index for p in machine.pcpus if not p.failed]
+        if not avail:
+            # Total outage: nothing to lay out; retry at the idle horizon.
+            self._slice_end = now + self.idle_slice_ns
+            self._slice_events.append(
+                self.engine.at(
+                    self._slice_end,
+                    self._new_slice,
+                    priority=PRIORITY_SCHEDULE,
+                    name="global-deadline",
+                )
+            )
+            return
         # The paper: one PCPU computes the global deadline (O(log n)) and
         # the per-VCPU partitions (O(n) over all PCPUs).
-        machine.charge_schedule(0, elements=len(entries))
+        machine.charge_schedule(avail[0], elements=len(entries))
         deadline = self._next_global_deadline(now)
         self._slice_end = deadline
         slice_len = deadline - now
         self.slices_computed += 1
 
         if self._affinity:
-            pieces = self._layout_with_affinity(entries, now, slice_len)
+            pieces = self._layout_with_affinity(entries, now, slice_len, avail)
         else:
-            pieces = self._layout_wrap(entries, now, slice_len)
+            pieces = self._layout_wrap(entries, now, slice_len, avail)
 
-        for k, plist in enumerate(pieces):
+        for slot, plist in enumerate(pieces):
+            k = avail[slot]
             cursor = now
             for start, end, vcpu in plist:
                 if start > cursor:
@@ -266,12 +288,15 @@ class DPWrapScheduler(HostScheduler):
             self._received[vcpu.uid] = self._received.get(vcpu.uid, 0) + elapsed
 
     def _layout_wrap(
-        self, entries: List[VCPU], now: int, slice_len: int
+        self, entries: List[VCPU], now: int, slice_len: int, avail: List[int]
     ) -> List[List[Piece]]:
-        """McNaughton wrap-around: contiguous fill across the PCPUs."""
-        machine = self.machine
-        m = machine.pcpu_count
-        pieces: List[List[Piece]] = [[] for _ in machine.pcpus]
+        """McNaughton wrap-around: contiguous fill across the PCPUs.
+
+        *avail* lists the online PCPU indices; the returned piece lists
+        are slot-indexed (slot k -> PCPU ``avail[k]``).
+        """
+        m = len(avail)
+        pieces: List[List[Piece]] = [[] for _ in avail]
         offset = 0
         for vcpu in entries:
             alloc = self._allocation_for(
@@ -290,7 +315,7 @@ class DPWrapScheduler(HostScheduler):
         return pieces
 
     def _layout_with_affinity(
-        self, entries: List[VCPU], now: int, slice_len: int
+        self, entries: List[VCPU], now: int, slice_len: int, avail: List[int]
     ) -> List[List[Piece]]:
         """Affinity-aware layout (paper §6).
 
@@ -299,11 +324,12 @@ class DPWrapScheduler(HostScheduler):
         over the remaining free windows; a split that would make a VCPU's
         two parts overlap in time is avoided by skipping to the next
         PCPU, leaving a donated gap.  Allocation that finds no room
-        (affine overload of one PCPU) is refunded to the VCPU's carry.
+        (affine overload of one PCPU, or a pin to a failed PCPU) is
+        refunded to the VCPU's carry.  Slot k maps to PCPU ``avail[k]``.
         """
-        machine = self.machine
-        m = machine.pcpu_count
-        pieces: List[List[Piece]] = [[] for _ in machine.pcpus]
+        m = len(avail)
+        slot_of = {index: slot for slot, index in enumerate(avail)}
+        pieces: List[List[Piece]] = [[] for _ in avail]
         fill = [0] * m
 
         def place(k: int, start_local: int, length: int, vcpu: VCPU) -> None:
@@ -323,10 +349,14 @@ class DPWrapScheduler(HostScheduler):
             if target is None:
                 flexible.append((vcpu, alloc))
                 continue
-            take = min(alloc, slice_len - fill[target])
+            slot = slot_of.get(target)
+            if slot is None:  # pinned to a failed PCPU: owe it all
+                self._carry[vcpu.uid] += alloc
+                continue
+            take = min(alloc, slice_len - fill[slot])
             if take > 0:
-                place(target, fill[target], take, vcpu)
-                fill[target] += take
+                place(slot, fill[slot], take, vcpu)
+                fill[slot] += take
             if take < alloc:  # affine PCPU full: owe the rest
                 self._carry[vcpu.uid] += alloc - take
 
@@ -566,6 +596,25 @@ class DPWrapScheduler(HostScheduler):
             self.machine.set_running(pcpu_index, owner)
             return
         self._donate(pcpu_index, exclude=vcpu)
+
+    # -- fault hooks --------------------------------------------------------------------------------
+
+    def on_pcpu_failed(self, pcpu_index: int, victim: Optional[VCPU]) -> None:
+        """Re-partition over the surviving PCPUs (forced migration).
+
+        The mid-slice refund in :meth:`_new_slice` returns the victim's
+        (and everyone's) unexecuted entitlement to their carries, and the
+        fresh wrap lays it back out over the online PCPUs only — the
+        victim's reservation migrates in the same instant.
+        """
+        if self._started:
+            self._new_slice()
+        if victim is not None and victim.vm.vcpu_has_work(victim):
+            self.on_vcpu_wake(victim)
+
+    def on_pcpu_recovered(self, pcpu_index: int) -> None:
+        if self._started:
+            self._new_slice()
 
     # -- lifecycle ----------------------------------------------------------------------------------
 

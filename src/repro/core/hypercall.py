@@ -35,9 +35,48 @@ class RTVirtHypercall(CrossLayerPort):
         self.shared_memory = shared_memory
         #: (flag, granted) log for diagnostics and tests.
         self.log: List[tuple] = []
+        #: Fault-injection windows.  While ``now < _drop_until`` every
+        #: hypercall is lost (the guest sees a rejection, the host state
+        #: never changes); while ``now < _delay_until`` the host-side
+        #: effect of a granted call lands ``_delay_ns`` late.
+        self._drop_until = -1
+        self._delay_until = -1
+        self._delay_ns = 0
+        #: Dropped/delayed call counters (diagnostics).
+        self.dropped = 0
+        self.delayed = 0
+
+    def inject_drop(self, until_ns: int) -> None:
+        """Drop every hypercall until absolute time *until_ns*."""
+        self._drop_until = until_ns
+
+    def inject_delay(self, until_ns: int, delay_ns: int) -> None:
+        """Delay the host-side effect of hypercalls by *delay_ns* until
+        absolute time *until_ns*."""
+        self._delay_until = until_ns
+        self._delay_ns = max(0, delay_ns)
 
     def _charge(self) -> None:
         self.machine.charge_hypercall(pcpu_index=0)
+
+    def _apply(self, updates: List[ParamUpdate]) -> None:
+        """Install new VCPU parameters host-side (possibly deferred)."""
+        for vcpu, budget_ns, period_ns in updates:
+            vcpu.set_params(budget_ns, period_ns)
+            self.scheduler.update_vcpu(vcpu)
+
+    def _deliver(self, updates: List[ParamUpdate]) -> bool:
+        """Apply now, or schedule the delayed application.  Returns True
+        when the effect was deferred."""
+        now = self.machine.engine.now
+        if now < self._delay_until and self._delay_ns > 0:
+            self.delayed += 1
+            self.machine.engine.after(
+                self._delay_ns, self._apply, updates, name="hypercall-delayed"
+            )
+            return True
+        self._apply(updates)
+        return False
 
     def request_increase(self, updates: List[ParamUpdate]) -> bool:
         """INC_BW / INC_DEC_BW: atomic admission over the batch."""
@@ -45,22 +84,29 @@ class RTVirtHypercall(CrossLayerPort):
             SchedRTVirtFlag.INC_BW if len(updates) == 1 else SchedRTVirtFlag.INC_DEC_BW
         )
         self._charge()
+        if self.machine.engine.now < self._drop_until:
+            # The call is lost in transit: the guest observes a failure,
+            # the host commits nothing.
+            self.dropped += 1
+            self.log.append((flag, False))
+            return False
         if not self.admission.try_commit(updates):
             self.log.append((flag, False))
             return False
-        for vcpu, budget_ns, period_ns in updates:
-            vcpu.set_params(budget_ns, period_ns)
-            self.scheduler.update_vcpu(vcpu)
+        self._deliver(updates)
         self.log.append((flag, True))
         return True
 
     def notify_decrease(self, updates: List[ParamUpdate]) -> None:
         """DEC_BW: apply reduced requirements; never rejected."""
         self._charge()
+        if self.machine.engine.now < self._drop_until:
+            # Lost notification: the host keeps the old (larger) grant.
+            self.dropped += 1
+            self.log.append((SchedRTVirtFlag.DEC_BW, False))
+            return
         self.admission.commit_decrease(updates)
-        for vcpu, budget_ns, period_ns in updates:
-            vcpu.set_params(budget_ns, period_ns)
-            self.scheduler.update_vcpu(vcpu)
+        self._deliver(updates)
         self.log.append((SchedRTVirtFlag.DEC_BW, True))
 
     def vcpu_added(self, vcpu: VCPU) -> None:

@@ -25,6 +25,11 @@ class SharedMemoryPage:
     def __init__(self) -> None:
         self._slots: Dict[int, Tuple[VCPU, DeadlineProvider]] = {}
         self.reads = 0
+        #: Fault injection: while ``now < _frozen_until`` reads return
+        #: the snapshot taken at freeze time (a stale page — guest
+        #: updates stop propagating to the host).
+        self._frozen_until = -1
+        self._frozen_values: Dict[int, Optional[int]] = {}
 
     def map_vcpu(self, vcpu: VCPU, provider: Optional[DeadlineProvider] = None) -> None:
         """Install a deadline slot for *vcpu*.
@@ -40,20 +45,40 @@ class SharedMemoryPage:
         """Remove *vcpu*'s slot (VM teardown)."""
         self._slots.pop(vcpu.uid, None)
 
+    def freeze(self, now: int, until: int) -> None:
+        """Stop propagating guest updates until *until* (fault injection).
+
+        Snapshots every slot's current value; host reads serve the
+        snapshot — the stale page a dropped/undelivered update leaves
+        behind.  VCPUs mapped after the freeze read as unpublished.
+        """
+        self._frozen_values = {
+            uid: provider(now) for uid, (_, provider) in sorted(self._slots.items())
+        }
+        self._frozen_until = until
+
+    def thaw(self) -> None:
+        """Resume live reads immediately."""
+        self._frozen_until = -1
+        self._frozen_values = {}
+
     def read(self, vcpu: VCPU, now: int) -> Optional[int]:
         """Host-side read of one VCPU's published deadline."""
         entry = self._slots.get(vcpu.uid)
         if entry is None:
             return None
         self.reads += 1
+        if now < self._frozen_until:
+            return self._frozen_values.get(vcpu.uid)
         return entry[1](now)
 
     def read_all(self, now: int) -> List[Tuple[VCPU, int]]:
         """All (vcpu, deadline) pairs with a published deadline, by uid order."""
+        frozen = now < self._frozen_until
         out: List[Tuple[VCPU, int]] = []
         for uid in sorted(self._slots):
             vcpu, provider = self._slots[uid]
-            deadline = provider(now)
+            deadline = self._frozen_values.get(uid) if frozen else provider(now)
             self.reads += 1
             if deadline is not None:
                 out.append((vcpu, deadline))

@@ -57,6 +57,9 @@ class RTVirtSystem(BaseSystem):
         self.machine.set_host_scheduler(self.scheduler)
         self.admission = UtilizationAdmission(pcpu_count, background_reserve)
         self.default_slack_ns = slack_ns
+        #: Bandwidth shed by a PCPU failure, awaiting re-admission:
+        #: (vcpu, budget_ns, period_ns) in displacement order.
+        self._displaced = []
 
     # -- VM management -------------------------------------------------------------
 
@@ -92,6 +95,52 @@ class RTVirtSystem(BaseSystem):
             vm.add_background_process()
         self.scheduler.add_background_vcpu(vm.vcpus[0])
         return vm
+
+    def shutdown_vm(self, vm: VM) -> None:
+        super().shutdown_vm(vm)
+        for vcpu in vm.vcpus:
+            self.admission.release(vcpu)
+            self.shared_memory.unmap_vcpu(vcpu)
+
+    # -- fault entry points -------------------------------------------------------
+
+    def fail_pcpu(self, pcpu_index: int) -> None:
+        """Take a PCPU offline and re-negotiate admitted bandwidth.
+
+        Capacity shrinks to the surviving PCPUs, and grants that no
+        longer fit are shed newest-VCPU-first: the shed VCPU's budget is
+        zeroed (it stops receiving reserved supply) and remembered for
+        re-admission when capacity returns.
+        """
+        if self.machine.pcpus[pcpu_index].failed:
+            return
+        self.machine.fail_pcpu(pcpu_index)
+        self.admission.set_pcpu_count(self.machine.available_count)
+        by_uid = {v.uid: v for vm in self.vms for v in vm.vcpus}
+        for uid in self.admission.shed_to_capacity():
+            vcpu = by_uid.get(uid)
+            if vcpu is None:
+                continue
+            self._displaced.append((vcpu, vcpu.budget_ns, vcpu.period_ns))
+            vcpu.set_params(0, vcpu.period_ns)
+            self.scheduler.update_vcpu(vcpu)
+
+    def recover_pcpu(self, pcpu_index: int) -> None:
+        """Bring a PCPU back and re-admit displaced bandwidth (FIFO)."""
+        if not self.machine.pcpus[pcpu_index].failed:
+            return
+        self.machine.recover_pcpu(pcpu_index)
+        self.admission.set_pcpu_count(self.machine.available_count)
+        still_out = []
+        for vcpu, budget_ns, period_ns in self._displaced:
+            if vcpu.vm is None or vcpu.vm.machine is not self.machine:
+                continue  # the VM was shut down while displaced
+            if self.admission.try_commit([(vcpu, budget_ns, period_ns)]):
+                vcpu.set_params(budget_ns, period_ns)
+                self.scheduler.update_vcpu(vcpu)
+            else:
+                still_out.append((vcpu, budget_ns, period_ns))
+        self._displaced = still_out
 
     # -- reporting ---------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from . import (
     fig3_bandwidth,
     fig4_dynamic,
     fig5_memcached,
+    robustness,
     sporadic_rtas,
     table1_periodic,
     table2_config,
@@ -42,6 +43,9 @@ FIG5B_DURATION_NS = sec(20)
 FIG5B_SEED = 23
 TABLE6_DURATION_NS = sec(5)
 TABLE6_PCPUS = 15
+ROBUSTNESS_DURATION_NS = sec(5)
+ROBUSTNESS_SMOKE_DURATION_NS = sec(1)
+ROBUSTNESS_SEED = 11
 
 
 @dataclass(frozen=True)
@@ -162,6 +166,23 @@ REGISTRY: Dict[str, ExperimentEntry] = {
     ),
 }
 
+# Robustness suite: one entry per fault family, all driven by the same
+# harness.  Closures bind the family id by value via the default arg.
+for _fault in robustness.ROBUSTNESS_FAULTS:
+    REGISTRY[f"robustness_{_fault}"] = ExperimentEntry(
+        f"robustness_{_fault}",
+        "§5 robustness",
+        f"Fault injection ({_fault.replace('_', ' ')}): miss ratio and "
+        "recovery latency per scheduler",
+        runner=lambda f=_fault: robustness.run_robustness(
+            f, duration_ns=ROBUSTNESS_DURATION_NS, seed=ROBUSTNESS_SEED
+        ),
+        smoke=lambda f=_fault: robustness.run_robustness(
+            f, duration_ns=ROBUSTNESS_SMOKE_DURATION_NS, seed=ROBUSTNESS_SEED
+        ),
+    )
+del _fault
+
 
 def run(experiment_id: str):
     """Run one experiment by id and return its result object."""
@@ -176,3 +197,28 @@ def run_smoke(experiment_id: str):
 def all_ids() -> List[str]:
     """All experiment ids in paper order."""
     return list(REGISTRY)
+
+
+def expand_ids(patterns: List[str]) -> List[str]:
+    """Expand ids and ``fnmatch`` globs (``robustness_*``) in paper order.
+
+    Plain ids pass through untouched; a pattern with glob characters
+    expands to every matching registry id.  Raises :class:`KeyError` on
+    an unknown id or a glob matching nothing.
+    """
+    from fnmatch import fnmatch
+
+    order = all_ids()
+    selected: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matches = [i for i in order if fnmatch(i, pattern)]
+            if not matches:
+                raise KeyError(f"no experiment id matches {pattern!r}")
+            selected.extend(m for m in matches if m not in selected)
+        else:
+            if pattern not in REGISTRY:
+                raise KeyError(f"unknown experiment id {pattern!r}")
+            if pattern not in selected:
+                selected.append(pattern)
+    return selected

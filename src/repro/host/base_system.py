@@ -31,11 +31,44 @@ class BaseSystem:
         self.engine = engine if engine is not None else Engine()
         self.machine = Machine(self.engine, pcpu_count, cost_model, trace)
         self.vms: List[VM] = []
+        #: Tasks of VMs shut down mid-run (VM churn); kept so the miss
+        #: report still covers their jobs.
+        self._retired_tasks: List = []
 
     def _attach(self, vm: VM) -> VM:
         self.machine.attach_vm(vm)
         self.vms.append(vm)
         return vm
+
+    # -- dynamic VM lifecycle (fault injection / churn) ---------------------------
+
+    def shutdown_vm(self, vm: VM) -> None:
+        """Tear *vm* down mid-run: abandon its pending jobs, release its
+        bandwidth, free its VCPUs and detach it from the machine."""
+        now = self.engine.now
+        for task in list(vm.rt_tasks):
+            task.finalize(now)  # pending jobs count as abandoned
+            self._retired_tasks.append(task)
+            vm.unregister_task(task)
+        scheduler = self.machine.host_scheduler
+        for vcpu in vm.vcpus:
+            scheduler.remove_vcpu(vcpu)
+            scheduler.remove_background_vcpu(vcpu)
+            pcpu_index = self.machine.pcpu_of(vcpu)
+            if pcpu_index is not None:
+                self.machine.set_running(pcpu_index, None)
+        self.machine.detach_vm(vm)
+        self.vms.remove(vm)
+
+    # -- fault entry points --------------------------------------------------------
+
+    def fail_pcpu(self, pcpu_index: int) -> None:
+        """Take a PCPU offline (see :meth:`Machine.fail_pcpu`)."""
+        self.machine.fail_pcpu(pcpu_index)
+
+    def recover_pcpu(self, pcpu_index: int) -> None:
+        """Bring a failed PCPU back online."""
+        self.machine.recover_pcpu(pcpu_index)
 
     # -- run ------------------------------------------------------------------
 
@@ -54,8 +87,10 @@ class BaseSystem:
     # -- reporting ----------------------------------------------------------------
 
     def miss_report(self) -> MissReport:
-        """Deadline outcomes over every RT task in every VM."""
+        """Deadline outcomes over every RT task in every VM, including
+        tasks of VMs shut down mid-run."""
         tasks = [t for vm in self.vms for t in vm.rt_tasks]
+        tasks.extend(self._retired_tasks)
         return collect_miss_report(tasks)
 
     def overhead_percent(self) -> float:

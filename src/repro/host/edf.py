@@ -168,8 +168,15 @@ class EDFHostScheduler(HostScheduler):
         self._ready[server.vcpu.uid] = server
         heapq.heappush(self._heap, server.key)
         self._mutations += 1
+        # Fault injection: a sloppy hypervisor clock fires the next
+        # replenishment late by up to the configured jitter.  The
+        # deadline stays nominal — the server simply keeps its stale
+        # budget/deadline for the jittered interval.
+        delay = server.period
+        if self._jitter_source is not None:
+            delay += self.timer_jitter()
         server.replenish_event = self.engine.after(
-            server.period,
+            delay,
             self._replenish,
             server,
             priority=PRIORITY_BUDGET,
@@ -321,7 +328,7 @@ class EDFHostScheduler(HostScheduler):
         ``self._eligible()[:m]`` without sorting the eligible set.
         """
         heap = self._heap
-        m = self.machine.pcpu_count
+        m = self.machine.available_count
         ready = self._ready
         chosen: List[_Server] = []
         seen: Set[int] = set()
@@ -347,7 +354,23 @@ class EDFHostScheduler(HostScheduler):
         return chosen
 
     def _free_pcpus(self) -> List[int]:
-        return [p.index for p in self.machine.pcpus if p.running_vcpu is None]
+        return [
+            p.index
+            for p in self.machine.pcpus
+            if p.running_vcpu is None and not p.failed
+        ]
+
+    # -- fault hooks -----------------------------------------------------------------------
+
+    def on_pcpu_failed(self, pcpu_index: int, victim: Optional[VCPU]) -> None:
+        """The machine evicted *victim*; re-run selection over the
+        surviving PCPUs so the victim migrates if it still wins."""
+        self._mutations += 1
+        self._request_reschedule()
+
+    def on_pcpu_recovered(self, pcpu_index: int) -> None:
+        self._mutations += 1
+        self._request_reschedule()
 
     def _reschedule(self) -> None:
         """Run the m earliest-deadline eligible servers; fill the rest."""
@@ -490,7 +513,10 @@ class PartitionedEDFHostScheduler(EDFHostScheduler):
             self.add_vcpu(vcpu)
 
     def _first_fit(self, bw: Fraction) -> Optional[int]:
-        for index in range(self.machine.pcpu_count):
+        for pcpu in self.machine.pcpus:
+            if pcpu.failed:
+                continue
+            index = pcpu.index
             if self._loads.get(index, Fraction(0)) + bw <= 1:
                 return index
         return None
@@ -510,6 +536,9 @@ class PartitionedEDFHostScheduler(EDFHostScheduler):
         machine.sync_all()
         eligible = self._eligible()
         for pcpu in machine.pcpus:
+            if pcpu.failed:
+                # Servers still homed here are parked until recovery.
+                continue
             local = [s for s in eligible if self._home.get(s.vcpu.uid) == pcpu.index]
             chosen = local[0] if local else None
             occupant = pcpu.running_vcpu
@@ -528,3 +557,30 @@ class PartitionedEDFHostScheduler(EDFHostScheduler):
             self._arm_exhaust(chosen)
             for server in local[1:]:
                 self._disarm_exhaust(server)
+
+    # -- fault hooks -----------------------------------------------------------------------
+
+    def on_pcpu_failed(self, pcpu_index: int, victim: Optional[VCPU]) -> None:
+        """Re-home the failed PCPU's servers first-fit onto survivors.
+
+        Servers that fit nowhere stay homed on the failed PCPU (parked:
+        the per-PCPU pass skips failed PCPUs, so they simply do not run)
+        and resume when it recovers.  Re-homing iterates uid order so
+        the outcome is deterministic.
+        """
+        displaced = sorted(
+            uid for uid, home in self._home.items() if home == pcpu_index
+        )
+        for uid in displaced:
+            server = self._servers.get(uid)
+            if server is None:
+                continue
+            bw = server.vcpu.bandwidth
+            target = self._first_fit(bw)
+            if target is None:
+                continue  # parked on the failed PCPU
+            self._home[uid] = target
+            load = self._loads.get(pcpu_index, Fraction(0)) - bw
+            self._loads[pcpu_index] = load if load > 0 else Fraction(0)
+            self._loads[target] = self._loads.get(target, Fraction(0)) + bw
+        super().on_pcpu_failed(pcpu_index, victim)

@@ -107,6 +107,16 @@ class Machine:
     def pcpu_count(self) -> int:
         return len(self.pcpus)
 
+    @property
+    def available_pcpus(self) -> List[PCPU]:
+        """The PCPUs currently online (not failed)."""
+        return [p for p in self.pcpus if not p.failed]
+
+    @property
+    def available_count(self) -> int:
+        """Number of online PCPUs."""
+        return sum(1 for p in self.pcpus if not p.failed)
+
     def set_host_scheduler(self, scheduler) -> None:
         """Install the VMM-level scheduler."""
         self.host_scheduler = scheduler
@@ -256,6 +266,10 @@ class Machine:
             self._vcpu_last_pcpu[old.uid] = pcpu_index
             old.vm.on_vcpu_descheduled(old)
         if vcpu is not None:
+            if pcpu.failed:
+                raise SchedulingError(
+                    f"cannot place {vcpu.name} on failed PCPU {pcpu_index}"
+                )
             holder = self._vcpu_pcpu.get(vcpu.uid)
             if holder is not None:
                 raise SchedulingError(
@@ -284,6 +298,68 @@ class Machine:
         self._cancel_completion(pcpu)
         self._dirty_pcpus.add(pcpu_index)
         self._request_refresh()
+
+    # -- fault injection ------------------------------------------------------------------
+
+    def fail_pcpu(self, pcpu_index: int) -> Optional[VCPU]:
+        """Take PCPU *pcpu_index* offline (fault injection).
+
+        Charges work up to now, evicts the current occupant (the victim
+        is returned so callers/schedulers can migrate it), marks the
+        PCPU failed and notifies the host scheduler.  Idempotent: failing
+        an already-failed PCPU returns None and changes nothing.
+        """
+        pcpu = self.pcpus[pcpu_index]
+        if pcpu.failed:
+            return None
+        victim = pcpu.running_vcpu
+        if victim is not None:
+            self.set_running(pcpu_index, None)
+        pcpu.failed = True
+        # The eviction above already synced; an idle PCPU needs it still.
+        self.sync_pcpu(pcpu)
+        self._cancel_completion(pcpu)
+        self._dirty_pcpus.discard(pcpu_index)
+        if self._tracing:
+            self.trace.record_event(
+                self.engine.now, "fault", "pcpu_fail", pcpu_index,
+                victim.name if victim is not None else None,
+            )
+        if self.host_scheduler is not None:
+            self.host_scheduler.on_pcpu_failed(pcpu_index, victim)
+        self._request_refresh()
+        return victim
+
+    def recover_pcpu(self, pcpu_index: int) -> None:
+        """Bring a failed PCPU back online.  Idempotent."""
+        pcpu = self.pcpus[pcpu_index]
+        if not pcpu.failed:
+            return
+        pcpu.failed = False
+        pcpu.last_sync = self.engine.now
+        pcpu.overhead_until = self.engine.now
+        pcpu.idle_notified = False
+        self._dirty_pcpus.add(pcpu_index)
+        if self._tracing:
+            self.trace.record_event(
+                self.engine.now, "fault", "pcpu_recover", pcpu_index, None
+            )
+        if self.host_scheduler is not None:
+            self.host_scheduler.on_pcpu_recovered(pcpu_index)
+        self._request_refresh()
+
+    def detach_vm(self, vm: VM) -> None:
+        """Remove *vm* from this machine (VM shutdown churn).
+
+        The caller (``BaseSystem.shutdown_vm``) is responsible for first
+        unregistering the VM's tasks and removing its VCPUs from the
+        host scheduler; this only severs the machine link.
+        """
+        if vm.machine is not self:
+            raise ConfigurationError(f"VM {vm.name} is not attached to this machine")
+        vm.machine = None
+        self.vms.remove(vm)
+        self._has_gedf_vm = any(v._is_gedf for v in self.vms)
 
     # -- notifications --------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ class PCPU:
         "completion_event",
         "idle_notified",
         "usage",
+        "failed",
     )
 
     def __init__(self, index: int) -> None:
@@ -43,6 +44,9 @@ class PCPU:
         self.idle_notified: bool = False
         #: Cached :class:`PcpuUsage` record (bound on first charge).
         self.usage = None
+        #: True while the PCPU is offline (fault injection).  A failed
+        #: PCPU runs nothing and schedulers must not place VCPUs on it.
+        self.failed: bool = False
 
     @property
     def busy(self) -> bool:

@@ -32,6 +32,10 @@ class HostScheduler(abc.ABC):
         self.machine = None
         self._background: List[VCPU] = []
         self._bg_cursor = 0
+        #: Optional (RandomSource, max_ns) pair injecting clock jitter
+        #: into the scheduler's own timer arming (fault injection).
+        self._jitter_source = None
+        self._jitter_max = 0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -68,6 +72,12 @@ class HostScheduler(abc.ABC):
         """
         self._background.append(vcpu)
 
+    def remove_background_vcpu(self, vcpu: VCPU) -> None:
+        """Drop *vcpu* from the background pool (VM shutdown churn)."""
+        if vcpu in self._background:
+            self._background.remove(vcpu)
+            self._bg_cursor = 0
+
     def next_background_vcpu(self, exclude=None) -> Optional[VCPU]:
         """Round-robin over background VCPUs with runnable work."""
         if not self._background:
@@ -94,6 +104,8 @@ class HostScheduler(abc.ABC):
         VCPU is already running (pool <= PCPUs), the current occupant
         keeps the PCPU instead of being evicted to idle.
         """
+        if self.machine.pcpus[pcpu_index].failed:
+            return
         vcpu = self.next_background_vcpu()
         occupant = self.machine.pcpus[pcpu_index].running_vcpu
         if (
@@ -128,7 +140,7 @@ class HostScheduler(abc.ABC):
         machine = self.machine
         rotate = len(self._background) > 1
         for pcpu in machine.pcpus:
-            if pcpu.running_vcpu is not None:
+            if pcpu.running_vcpu is not None or pcpu.failed:
                 continue
             vcpu = self.next_background_vcpu()
             if vcpu is None:
@@ -171,6 +183,37 @@ class HostScheduler(abc.ABC):
 
         Budget- and credit-based schedulers override this to burn budget.
         """
+
+    # -- fault hooks -----------------------------------------------------------------
+
+    def on_pcpu_failed(self, pcpu_index: int, victim: Optional[VCPU]) -> None:
+        """PCPU *pcpu_index* went offline; *victim* was evicted from it.
+
+        The machine already vacated the PCPU.  Schedulers override this
+        to migrate the victim / repartition; default: ignore (the next
+        scheduling pass will simply find one PCPU fewer).
+        """
+
+    def on_pcpu_recovered(self, pcpu_index: int) -> None:
+        """PCPU *pcpu_index* came back online.  Default: ignore."""
+
+    # -- timer jitter (fault injection) ----------------------------------------------
+
+    def set_timer_jitter(self, source, max_ns: int) -> None:
+        """Inject up to *max_ns* of jitter into timer re-arming.
+
+        *source* is a :class:`repro.simcore.rng.RandomSource`; pass
+        ``max_ns=0`` (or ``source=None``) to disable.  Models a sloppy
+        hypervisor clock on budget-replenishment timers.
+        """
+        self._jitter_source = source if max_ns > 0 else None
+        self._jitter_max = max_ns if source is not None else 0
+
+    def timer_jitter(self) -> int:
+        """One jitter sample in ``[0, max_ns]`` (0 when disabled)."""
+        if self._jitter_source is None or self._jitter_max <= 0:
+            return 0
+        return self._jitter_source.uniform_int(0, self._jitter_max)
 
     # -- lifecycle -------------------------------------------------------------------
 

@@ -23,6 +23,9 @@ class DeadlineStats:
     response_times: List[int] = field(default_factory=list)
     #: largest (completion - deadline) over all misses, ns
     worst_tardiness: int = 0
+    #: completion instants of missed jobs, ns (misses are rare, so this
+    #: stays tiny; it feeds the robustness suite's recovery latency)
+    miss_times: List[int] = field(default_factory=list)
 
     def record_release(self) -> None:
         self.released += 1
@@ -36,6 +39,7 @@ class DeadlineStats:
         else:
             self.missed += 1
             self.worst_tardiness = max(self.worst_tardiness, completion - deadline)
+            self.miss_times.append(completion)
 
     def record_abandoned(self, deadline_passed: bool) -> None:
         """Record a job still unfinished at the end of the run."""
@@ -101,6 +105,24 @@ class MissReport:
 
     def task_miss_ratio(self, name: str) -> float:
         return self.per_task[name].miss_ratio
+
+    @property
+    def all_miss_times(self) -> List[int]:
+        """Completion instants of every recorded miss, sorted ascending."""
+        times: List[int] = []
+        for stats in self.per_task.values():
+            times.extend(stats.miss_times)
+        times.sort()
+        return times
+
+    def recovery_latency_ns(self, fault_time_ns: int) -> int:
+        """Time from *fault_time_ns* to the last miss it can explain.
+
+        0 when no miss completes at or after the fault — the system
+        absorbed it without a single post-fault deadline miss.
+        """
+        after = [t for t in self.all_miss_times if t >= fault_time_ns]
+        return (after[-1] - fault_time_ns) if after else 0
 
 
 def collect_miss_report(tasks: Iterable) -> MissReport:

@@ -4,7 +4,10 @@ Any captured :class:`~repro.simcore.trace.Trace` can be dumped to a
 ``.json`` loadable in ``chrome://tracing`` / https://ui.perfetto.dev:
 PCPUs become rows, execution segments become duration events coloured
 by VM, and point events (switches, migrations, completions) become
-instant events.
+instant events.  Injected faults (``kind == "fault"`` trace events,
+recorded by the machine and :mod:`repro.faults`) land as global instant
+events on a dedicated ``faults`` track so the timeline shows exactly
+when the system was hit.
 """
 
 from __future__ import annotations
@@ -14,6 +17,10 @@ from typing import Dict, List, Optional
 
 from ..simcore.errors import ConfigurationError
 from ..simcore.trace import Trace
+
+#: Row (chrome-tracing tid) holding injected-fault instant events; far
+#: above any realistic PCPU index so the track never collides.
+FAULT_TRACK_TID = 999
 
 
 def trace_to_chrome_events(trace: Trace, process_name: str = "host") -> List[Dict]:
@@ -27,6 +34,16 @@ def trace_to_chrome_events(trace: Trace, process_name: str = "host") -> List[Dic
         }
     ]
     pcpus = sorted({s.pcpu for s in trace.segments})
+    if any(e.kind == "fault" for e in trace.events):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": FAULT_TRACK_TID,
+                "args": {"name": "faults"},
+            }
+        )
     for pcpu in pcpus:
         events.append(
             {
@@ -63,6 +80,20 @@ def trace_to_chrome_events(trace: Trace, process_name: str = "host") -> List[Dic
                     "ts": event.time / 1_000.0,
                     "s": "t",
                     "args": {"vcpu": vcpu},
+                }
+            )
+        elif event.kind == "fault":
+            fault_kind = event.detail[0] if event.detail else "fault"
+            events.append(
+                {
+                    "name": f"fault:{fault_kind}",
+                    "cat": "faults",
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": FAULT_TRACK_TID,
+                    "ts": event.time / 1_000.0,
+                    "s": "g",
+                    "args": {"detail": [str(d) for d in event.detail[1:]]},
                 }
             )
         elif event.kind == "complete":

@@ -108,18 +108,22 @@ def run_experiments(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     echo: Optional[Callable[[str], None]] = None,
+    seed: Optional[int] = None,
 ) -> RunReport:
     """Run experiments (default: the whole registry) and merge their output.
 
     ``cache=None`` disables caching; pass a :class:`ResultCache` to skip
-    unchanged work units on re-runs.
+    unchanged work units on re-runs.  *seed* overrides the RNG seed of
+    seed-taking experiments (the robustness family); it feeds the unit
+    kwargs and hence the cache key, so differently-seeded runs never
+    collide in the cache.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     cache = cache if cache is not None else disabled_cache()
     started = time.perf_counter()
 
-    plans = build_plans(ids)
+    plans = build_plans(ids, seed=seed)
     all_units = [unit for plan in plans for unit in plan.units]
 
     parts: Dict[WorkUnit, Any] = {}

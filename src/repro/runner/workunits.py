@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import registry
 from ..experiments.fig5_memcached import FIG5_SCHEDULERS, Fig5Result
+from ..experiments.robustness import ROBUSTNESS_SCHEDULERS, RobustnessResult
 from ..experiments.table1_periodic import Table1Result
 from ..experiments.table4_dedicated import TABLE4_SCHEDULERS, Table4Result
 from ..experiments.table6_overhead import TABLE6_SCENARIOS, Table6Result
@@ -132,6 +133,10 @@ def _assemble_fig5b(parts: Sequence[Any]) -> Fig5Result:
 def _assemble_table6(parts: Sequence[Any]) -> Table6Result:
     multi, single, (multi_cap, single_cap) = parts
     return Table6Result([multi, single], multi_cap, single_cap)
+
+
+def _assemble_robustness(parts: Sequence[Any]) -> RobustnessResult:
+    return RobustnessResult(list(parts))
 
 
 # -- plan construction ----------------------------------------------------------------
@@ -255,6 +260,25 @@ def _table6_plan() -> ExperimentPlan:
     return ExperimentPlan("table6", tuple(units), _assemble_table6)
 
 
+def _robustness_plan(experiment_id: str, seed: Optional[int]) -> ExperimentPlan:
+    fault = experiment_id[len("robustness_"):]
+    units = tuple(
+        WorkUnit(
+            experiment_id=experiment_id,
+            unit_id=f"{experiment_id}/{scheduler}",
+            fn="repro.experiments.robustness:run_robustness_case",
+            kwargs=(
+                ("fault", fault),
+                ("scheduler", scheduler),
+                ("duration_ns", registry.ROBUSTNESS_DURATION_NS),
+                ("seed", registry.ROBUSTNESS_SEED if seed is None else seed),
+            ),
+        )
+        for scheduler in ROBUSTNESS_SCHEDULERS
+    )
+    return ExperimentPlan(experiment_id, units, _assemble_robustness)
+
+
 _SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
     "table1": _table1_plan,
     "sporadic": _sporadic_plan,
@@ -265,15 +289,24 @@ _SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
 }
 
 
-def plan_for(experiment_id: str) -> ExperimentPlan:
-    """The work-unit plan of one registry experiment."""
+def plan_for(experiment_id: str, seed: Optional[int] = None) -> ExperimentPlan:
+    """The work-unit plan of one registry experiment.
+
+    *seed* overrides the default RNG seed of experiments that take one
+    (currently the robustness family); the seed lands in the unit
+    kwargs, so it participates in the cache fingerprint automatically.
+    """
     if experiment_id not in registry.REGISTRY:
         raise KeyError(f"unknown experiment id {experiment_id!r}")
+    if experiment_id.startswith("robustness_"):
+        return _robustness_plan(experiment_id, seed)
     builder = _SHARDED_PLANS.get(experiment_id)
     return builder() if builder else _whole_plan(experiment_id)
 
 
-def build_plans(ids: Optional[Sequence[str]] = None) -> List[ExperimentPlan]:
+def build_plans(
+    ids: Optional[Sequence[str]] = None, seed: Optional[int] = None
+) -> List[ExperimentPlan]:
     """Plans for *ids* in canonical registry order (default: all)."""
     order = registry.all_ids()
     if ids is None:
@@ -284,4 +317,4 @@ def build_plans(ids: Optional[Sequence[str]] = None) -> List[ExperimentPlan]:
             raise KeyError(f"unknown experiment id(s): {', '.join(unknown)}")
         wanted = set(ids)
         selected = [i for i in order if i in wanted]
-    return [plan_for(i) for i in selected]
+    return [plan_for(i, seed=seed) for i in selected]

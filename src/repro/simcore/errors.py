@@ -36,5 +36,22 @@ class ConfigurationError(ReproError):
     """A component was constructed with inconsistent parameters."""
 
 
+class InvariantViolation(SimulationError):
+    """An online invariant check failed at a scheduling decision point.
+
+    Raised by :class:`repro.faults.invariants.InvariantChecker`.  Carries
+    the violated *rule* name, the simulated *time_ns* of the offending
+    decision, and *window* — the most recent decision snapshots (oldest
+    first) so the failure can be diagnosed without re-running the
+    simulation under a tracer.
+    """
+
+    def __init__(self, rule: str, time_ns: int, message: str, window=()) -> None:
+        super().__init__(f"[{rule}] t={time_ns}ns: {message}")
+        self.rule = rule
+        self.time_ns = time_ns
+        self.window = tuple(window)
+
+
 class AnalysisError(ReproError):
     """A real-time analysis routine could not produce a valid result."""

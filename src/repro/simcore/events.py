@@ -23,7 +23,7 @@ heap traffic dominates the engine's hot path.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SimulationError
@@ -34,6 +34,7 @@ from .errors import SimulationError
 PRIORITY_RELEASE = 0
 PRIORITY_COMPLETION = 10
 PRIORITY_BUDGET = 20
+PRIORITY_FAULT = 25
 PRIORITY_SCHEDULE = 30
 PRIORITY_DEFAULT = 50
 PRIORITY_METRICS = 90
@@ -101,12 +102,22 @@ _Entry = Tuple[int, int, int, Event]
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
-    __slots__ = ("_heap", "_seq", "_live")
+    #: Compact the heap once more than this many cancelled entries linger
+    #: *and* they outnumber the live ones.  Mass cancellation (a PCPU
+    #: failure revoking hundreds of in-flight timers at once) would
+    #: otherwise leave the heap dominated by dead entries that every
+    #: subsequent sift still has to wade through.
+    _COMPACT_MIN_DEAD = 64
+
+    __slots__ = ("_heap", "_seq", "_live", "_dead")
 
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
         self._seq = 0
         self._live = 0
+        #: Cancelled entries still sitting in the heap (not yet discarded
+        #: by the lazy pop path).  Invariant: ``len(_heap) == _live + _dead``.
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
@@ -140,12 +151,30 @@ class EventQueue:
         if not event.cancelled and not event.consumed:
             event.cancel()
             self._live -= 1
+            self._dead += 1
+            if (
+                self._dead > self._COMPACT_MIN_DEAD
+                and self._dead > self._live
+            ):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries.
+
+        Keys ``(time, priority, seq)`` are unique, so heapifying the
+        surviving entries yields exactly the pop order the lazy path
+        would have produced — compaction is invisible to determinism.
+        """
+        self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+        heapify(self._heap)
+        self._dead = 0
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or None if the queue is empty."""
         heap = self._heap
         while heap and heap[0][3].cancelled:
             heappop(heap)
+            self._dead -= 1
         if not heap:
             return None
         return heap[0][0]
@@ -158,6 +187,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][3].cancelled:
             heappop(heap)
+            self._dead -= 1
         if not heap:
             raise SimulationError("pop from an empty event queue")
         event = heappop(heap)[3]
@@ -174,6 +204,7 @@ class EventQueue:
         heap = self._heap
         while heap and heap[0][3].cancelled:
             heappop(heap)
+            self._dead -= 1
         if not heap or heap[0][0] != time:
             return None
         event = heappop(heap)[3]
@@ -193,3 +224,4 @@ class EventQueue:
                 event.cancelled = True
         self._heap.clear()
         self._live = 0
+        self._dead = 0

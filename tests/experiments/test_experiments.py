@@ -168,6 +168,11 @@ class TestRegistry:
             "fig5a",
             "fig5b",
             "table6",
+            "robustness_pcpu_fail",
+            "robustness_vm_churn",
+            "robustness_surge",
+            "robustness_hypercall",
+            "robustness_jitter",
         }
         for entry in REGISTRY.values():
             assert entry.paper_ref and entry.description

@@ -25,6 +25,13 @@ def test_registry_entry_smoke(experiment_id):
 def test_smoke_variants_differ_from_full_runners():
     """Smoke runners must stay cheap: they may not be the full runner
     for the simulation-heavy entries."""
-    for experiment_id in ("table1", "fig4", "fig5a", "fig5b", "table6"):
+    for experiment_id in (
+        "table1",
+        "fig4",
+        "fig5a",
+        "fig5b",
+        "table6",
+        "robustness_pcpu_fail",
+    ):
         entry = registry.REGISTRY[experiment_id]
         assert entry.smoke is not entry.runner

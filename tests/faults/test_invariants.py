@@ -1,0 +1,178 @@
+"""Tests for the online invariant checker.
+
+Healthy systems must run fault scenarios without tripping any rule;
+deliberately broken schedulers (wrong EDF order, a dead exhaust timer)
+and corrupted state must raise :class:`InvariantViolation` naming the
+rule and carrying the trailing decision window.
+"""
+
+import types
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.credit import CreditSystem
+from repro.baselines.rtxen import RTXenSystem
+from repro.core.system import RTVirtSystem
+from repro.faults import (
+    At,
+    InvariantChecker,
+    InvariantViolation,
+    PcpuFail,
+    PcpuRecover,
+    Scenario,
+    VmChurn,
+)
+from repro.guest.task import Task
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.time import msec
+from repro.workloads.periodic import PeriodicDriver
+
+
+def loaded_rtxen(pcpu_count=1, tasks=((msec(2), msec(10)),), host="gedf"):
+    system = RTXenSystem(pcpu_count=pcpu_count, host=host)
+    for i, (slice_ns, period_ns) in enumerate(tasks):
+        task = Task(f"t{i}", slice_ns, period_ns)
+        vm = system.create_vm(f"vm{i}", interfaces=[(slice_ns * 2, period_ns)])
+        system.register_rta(vm, task)
+        PeriodicDriver(system.engine, vm, task).start()
+    return system
+
+
+class TestHealthySystems:
+    @pytest.mark.parametrize("build", [
+        lambda: RTVirtSystem(pcpu_count=2, cost_model=ZERO_COSTS),
+        lambda: loaded_rtxen(pcpu_count=2, tasks=((msec(2), msec(10)),) * 3),
+        lambda: loaded_rtxen(
+            pcpu_count=2, tasks=((msec(2), msec(10)),) * 3, host="pedf"
+        ),
+        lambda: CreditSystem(pcpu_count=2),
+    ])
+    def test_clean_run_trips_nothing(self, build):
+        system = build()
+        checker = InvariantChecker(system).attach()
+        system.run(msec(100))
+        assert checker.checks > 0
+
+    def test_faulted_run_trips_nothing(self):
+        system = loaded_rtxen(pcpu_count=2, tasks=((msec(2), msec(10)),) * 3)
+        checker = InvariantChecker(system).attach()
+        Scenario(
+            [
+                At(msec(10), PcpuFail(1)),
+                At(msec(30), PcpuRecover(1)),
+                At(msec(5), VmChurn(lifetime_ns=msec(20), slice_ns=msec(1),
+                                    period_ns=msec(10))),
+            ]
+        ).install(system)
+        system.run(msec(100))
+        assert checker.checks > 0
+
+    def test_disabled_checker_skips(self):
+        system = CreditSystem(pcpu_count=1)
+        checker = InvariantChecker(system).attach()
+        checker.enabled = False
+        system.run(msec(10))
+        assert checker.checks == 0
+
+
+class TestBrokenSchedulers:
+    def test_reversed_edf_choice_trips_edf_order(self):
+        """A scheduler preferring the *latest* deadline must be caught."""
+        system = loaded_rtxen(
+            pcpu_count=1,
+            tasks=((msec(2), msec(10)), (msec(2), msec(40))),
+        )
+        scheduler = system.machine.host_scheduler
+
+        def broken_choose(self):
+            servers = self._eligible()
+            m = self.machine.available_count
+            return list(reversed(servers))[:m]
+
+        scheduler._choose = types.MethodType(broken_choose, scheduler)
+        InvariantChecker(system).attach()
+        with pytest.raises(InvariantViolation) as exc:
+            system.run(msec(100))
+        assert exc.value.rule == "edf_order"
+        assert exc.value.window  # offending trace window attached
+
+    def test_dead_exhaust_timer_trips_budget(self):
+        """A server kept placed after draining its budget must be caught."""
+        system = RTXenSystem(pcpu_count=1, host="gedf")
+        task = Task("t", msec(5), msec(10))
+        vm = system.create_vm("vm", interfaces=[(msec(3), msec(10))])
+        system.register_rta(vm, task)
+        PeriodicDriver(system.engine, vm, task).start()
+        scheduler = system.machine.host_scheduler
+        scheduler._exhaust = types.MethodType(
+            lambda self, server: None, scheduler
+        )
+        InvariantChecker(system).attach()
+        with pytest.raises(InvariantViolation) as exc:
+            system.run(msec(100))
+        assert exc.value.rule == "budget"
+
+    def test_negative_remaining_trips_budget(self):
+        system = loaded_rtxen(pcpu_count=1)
+        scheduler = system.machine.host_scheduler
+        checker = InvariantChecker(system).attach()
+        system.run(msec(10))
+        server = next(iter(scheduler._servers.values()))
+        server.remaining = -1
+        with pytest.raises(InvariantViolation) as exc:
+            checker._check()
+        assert exc.value.rule == "budget"
+        assert "overdrew" in str(exc.value)
+
+
+class TestCorruptedState:
+    def test_double_occupancy_trips_placement(self):
+        system = loaded_rtxen(pcpu_count=2)
+        checker = InvariantChecker(system).attach()
+        system.run(msec(11))  # mid-job: the t=10ms release is running
+        machine = system.machine
+        placed = [p.running_vcpu for p in machine.pcpus if p.running_vcpu]
+        assert placed
+        for pcpu in machine.pcpus:
+            pcpu.running_vcpu = placed[0]  # bypass the bookkeeping
+        with pytest.raises(InvariantViolation) as exc:
+            checker._check()
+        assert exc.value.rule == "placement"
+
+    def test_running_on_failed_pcpu_trips_placement(self):
+        system = loaded_rtxen(pcpu_count=1)
+        checker = InvariantChecker(system).attach()
+        system.run(msec(11))  # mid-job: the t=10ms release is running
+        pcpu = system.machine.pcpus[0]
+        assert pcpu.running_vcpu is not None
+        pcpu.failed = True
+        with pytest.raises(InvariantViolation) as exc:
+            checker._check()
+        assert exc.value.rule == "placement"
+
+    def test_overcommitted_admission_trips_capacity(self):
+        system = RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS)
+        checker = InvariantChecker(system).attach()
+        system.run(msec(1))
+        system.admission._granted[999] = Fraction(100)
+        with pytest.raises(InvariantViolation) as exc:
+            checker._check()
+        assert exc.value.rule == "capacity"
+
+
+class TestViolationShape:
+    def test_violation_carries_rule_time_and_window(self):
+        system = loaded_rtxen(pcpu_count=1)
+        checker = InvariantChecker(system, window=4).attach()
+        system.run(msec(21))  # mid-job: the t=20ms release is running
+        pcpu = system.machine.pcpus[0]
+        pcpu.failed = True
+        assert pcpu.running_vcpu is not None
+        with pytest.raises(InvariantViolation) as exc:
+            checker._check()
+        violation = exc.value
+        assert violation.time_ns == system.engine.now
+        assert 0 < len(violation.window) <= 4
+        time, snapshot = violation.window[-1]
+        assert isinstance(time, int) and isinstance(snapshot, tuple)

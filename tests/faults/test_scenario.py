@@ -1,0 +1,99 @@
+"""Tests for the scenario timeline DSL."""
+
+import pytest
+
+from repro.core.system import RTVirtSystem
+from repro.faults import At, Every, Fault, FaultContext, Scenario
+from repro.host.costs import ZERO_COSTS
+from repro.simcore.errors import ConfigurationError
+from repro.simcore.rng import RandomStreams
+from repro.simcore.time import msec
+
+
+class Probe(Fault):
+    """Records its application times on the context."""
+
+    kind = "probe"
+
+    def apply(self, ctx: FaultContext) -> None:
+        ctx.record(self.kind)
+
+
+def make_system():
+    return RTVirtSystem(pcpu_count=1, cost_model=ZERO_COSTS, slack_ns=0)
+
+
+class TestDirectives:
+    def test_at_fires_once_at_exact_time(self):
+        system = make_system()
+        ctx = Scenario([At(msec(3), Probe())]).install(system)
+        system.run(msec(10))
+        assert ctx.fault_times("probe") == [msec(3)]
+
+    def test_every_fires_periodically_from_one_period_in(self):
+        system = make_system()
+        ctx = Scenario([Every(msec(4), Probe())]).install(system)
+        system.run(msec(18))
+        assert ctx.fault_times("probe") == [msec(4), msec(8), msec(12), msec(16)]
+
+    def test_every_with_start_and_count(self):
+        system = make_system()
+        ctx = Scenario([Every(msec(5), Probe(), start_ns=msec(1), count=3)]).install(
+            system
+        )
+        system.run(msec(50))
+        assert ctx.fault_times("probe") == [msec(1), msec(6), msec(11)]
+
+    def test_directives_interleave_in_time_order(self):
+        system = make_system()
+
+        class Named(Probe):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def apply(self, ctx):
+                ctx.record("probe", self.tag)
+
+        ctx = Scenario(
+            [At(msec(5), Named("late")), At(msec(2), Named("early"))]
+        ).install(system)
+        system.run(msec(10))
+        assert [d[0] for _, _, d in ctx.log] == ["early", "late"]
+
+
+class TestValidation:
+    def test_rejects_non_directives(self):
+        with pytest.raises(ConfigurationError):
+            Scenario([Probe()])
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            Scenario([At(-1, Probe())])
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(ConfigurationError):
+            Scenario([Every(0, Probe())])
+
+
+class TestContext:
+    def test_install_returns_context_with_streams(self):
+        system = make_system()
+        streams = RandomStreams(9)
+        ctx = Scenario([]).install(system, streams)
+        assert ctx.streams is streams
+        assert ctx.system is system
+
+    def test_default_streams_are_seeded_zero(self):
+        system = make_system()
+        ctx = Scenario([]).install(system)
+        other = RandomStreams(0)
+        assert ctx.streams.stream("x").uniform_int(0, 10**6) == other.stream(
+            "x"
+        ).uniform_int(0, 10**6)
+
+    def test_first_fault_time(self):
+        system = make_system()
+        ctx = Scenario([At(msec(2), Probe()), At(msec(7), Probe())]).install(system)
+        system.run(msec(10))
+        assert ctx.first_fault_time() == msec(2)
+        assert ctx.first_fault_time("nope") is None

@@ -69,6 +69,75 @@ def test_engine_pending_never_negative(ops):
         assert engine.pending >= 0
 
 
+@given(_ops)
+def test_heap_size_is_live_plus_dead(ops):
+    """The compaction invariant holds under any op interleaving.
+
+    ``len(_heap) == _live + _dead`` is what makes the mass-cancellation
+    compaction sound: cancel moves an entry live->dead, the lazy pop
+    path discards dead entries one by one, and compaction drops them all
+    at once.  Pop order must be unaffected throughout.
+    """
+    q = EventQueue()
+    created = []
+    for kind, arg in ops:
+        if kind == "push":
+            created.append(q.push(arg, lambda: None))
+        elif kind == "cancel" and arg < len(created):
+            q.cancel(created[arg])
+        elif kind == "pop" and len(q):
+            q.pop()
+        assert len(q._heap) == q._live + q._dead
+        assert q._dead >= 0 and q._live >= 0
+
+
+@given(
+    st.integers(EventQueue._COMPACT_MIN_DEAD + 1, 300),
+    st.integers(0, 50),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_mass_cancellation_compacts_and_preserves_order(cancelled, kept, rng_seed):
+    """Cancelling a big batch compacts the heap; survivors pop in order.
+
+    Mirrors a PCPU failure revoking hundreds of in-flight timers at
+    once: once dead entries both exceed the compaction floor and
+    outnumber the live ones, the heap must shrink to exactly the live
+    entries, and the surviving pop order must equal the sorted
+    (time, priority, seq) order as if nothing had been cancelled.
+    """
+    import random
+
+    rng = random.Random(rng_seed)
+    q = EventQueue()
+    doomed = [q.push(rng.randrange(10_000), lambda: None) for _ in range(cancelled)]
+    survivors = [q.push(rng.randrange(10_000), lambda: None) for _ in range(kept)]
+    rng.shuffle(doomed)
+    for event in doomed:
+        q.cancel(event)
+        # Compaction bound: dead entries never exceed both the floor
+        # and the live count once the cancel has been processed.
+        assert q._dead <= q._COMPACT_MIN_DEAD or q._dead <= q._live
+        assert len(q._heap) == q._live + q._dead
+    # More cancels than floor and than survivors: compaction must have
+    # fired at least once, so the heap cannot still hold every entry.
+    if cancelled > kept:
+        assert len(q._heap) < cancelled + kept
+    expected = sorted(survivors, key=lambda e: (e.time, e.priority, e.seq))
+    popped = [q.pop() for _ in range(len(q))]
+    assert popped == expected
+    assert len(q) == 0 and len(q._heap) == q._dead
+
+
+def test_clear_resets_dead_count():
+    q = EventQueue()
+    events = [q.push(i, lambda: None) for i in range(100)]
+    for event in events[:80]:
+        q.cancel(event)
+    q.clear()
+    assert len(q) == 0 and q._dead == 0 and q._heap == []
+
+
 # Workload shapes for the eligible-structure check: (slice_ms, period_ms).
 _server_specs = st.lists(
     st.tuples(st.integers(1, 6), st.integers(7, 30)),

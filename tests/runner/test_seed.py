@@ -1,0 +1,88 @@
+"""Seed plumbing: CLI/runner seed overrides reach the robustness units
+and participate in the result-cache key."""
+
+from repro.experiments import registry
+from repro.runner import run_experiments
+from repro.runner.cache import ResultCache
+from repro.runner.workunits import build_plans, plan_for
+
+ROBUSTNESS_IDS = [i for i in registry.all_ids() if i.startswith("robustness_")]
+
+
+class TestPlanSeeds:
+    def test_registry_contains_robustness_family(self):
+        assert len(ROBUSTNESS_IDS) == 5
+
+    def test_default_seed_in_unit_kwargs(self):
+        plan = plan_for("robustness_pcpu_fail")
+        for unit in plan.units:
+            assert dict(unit.kwargs)["seed"] == registry.ROBUSTNESS_SEED
+
+    def test_seed_override_lands_in_every_unit(self):
+        plan = plan_for("robustness_vm_churn", seed=424242)
+        for unit in plan.units:
+            assert dict(unit.kwargs)["seed"] == 424242
+
+    def test_seed_changes_cache_fingerprint(self):
+        base = plan_for("robustness_surge").units[0]
+        seeded = plan_for("robustness_surge", seed=424242).units[0]
+        assert base.fingerprint("salt") != seeded.fingerprint("salt")
+        assert base.fingerprint("salt") == plan_for("robustness_surge").units[
+            0
+        ].fingerprint("salt")
+
+    def test_seed_does_not_disturb_other_plans(self):
+        default = build_plans(["table2"], seed=424242)[0]
+        assert default.units == build_plans(["table2"])[0].units
+
+    def test_one_unit_per_scheduler(self):
+        plan = plan_for("robustness_jitter")
+        assert [u.unit_id for u in plan.units] == [
+            "robustness_jitter/RTVirt",
+            "robustness_jitter/RT-Xen",
+            "robustness_jitter/Credit",
+        ]
+
+
+class TestSeededRuns:
+    def test_same_seed_reproduces_rows(self):
+        first = run_experiments(["robustness_jitter"], jobs=1, seed=5)
+        second = run_experiments(["robustness_jitter"], jobs=1, seed=5)
+        assert first.reports[0].rows == second.reports[0].rows
+
+    def test_seeded_runs_never_share_cache_entries(self, tmp_path):
+        cache = ResultCache(path=str(tmp_path / "cache"))
+        run_experiments(["robustness_jitter"], jobs=1, cache=cache, seed=5)
+        assert cache.hits == 0
+        cache2 = ResultCache(path=str(tmp_path / "cache"))
+        run_experiments(["robustness_jitter"], jobs=1, cache=cache2, seed=6)
+        assert cache2.hits == 0  # different seed: all misses
+        cache3 = ResultCache(path=str(tmp_path / "cache"))
+        report = run_experiments(["robustness_jitter"], jobs=1, cache=cache3, seed=5)
+        assert cache3.hits == len(report.reports[0].rows) == 3  # same seed: all hits
+
+
+class TestCliSeed:
+    def test_run_all_seed_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["run-all", "--only", "robustness_jitter", "--no-cache", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "robustness_jitter" in out
+
+    def test_run_all_glob_expansion(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run-all", "--only", "robustness_*", "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for experiment_id in ROBUSTNESS_IDS:
+            assert experiment_id in out
+
+    def test_run_all_bad_glob(self, capsys):
+        from repro.cli import main
+
+        assert main(["run-all", "--only", "nothing_*"]) == 2

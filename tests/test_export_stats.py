@@ -54,6 +54,57 @@ class TestChromeExport:
             export_chrome_trace(sample_trace(), str(tmp_path / "trace.bin"))
 
 
+class TestFaultTrack:
+    def faulted_trace(self):
+        trace = sample_trace()
+        trace.record_event(500_000, "fault", "pcpu_fail", 1, "vm1.vcpu0")
+        trace.record_event(1_500_000, "fault", "vm_churn", "churn0", "boot")
+        return trace
+
+    def test_fault_events_land_on_dedicated_track(self):
+        from repro.report.export import FAULT_TRACK_TID
+
+        events = trace_to_chrome_events(self.faulted_trace())
+        faults = [e for e in events if e.get("cat") == "faults"]
+        assert [e["name"] for e in faults] == ["fault:pcpu_fail", "fault:vm_churn"]
+        assert all(e["tid"] == FAULT_TRACK_TID for e in faults)
+        assert all(e["ph"] == "i" and e["s"] == "g" for e in faults)
+        track_names = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["args"]["name"] == "faults"
+        ]
+        assert len(track_names) == 1
+        assert track_names[0]["tid"] == FAULT_TRACK_TID
+
+    def test_fault_detail_serialised(self):
+        events = trace_to_chrome_events(self.faulted_trace())
+        fail = next(e for e in events if e["name"] == "fault:pcpu_fail")
+        assert fail["args"]["detail"] == ["1", "vm1.vcpu0"]
+        assert fail["ts"] == 500.0  # 500_000 ns -> µs
+
+    def test_no_fault_track_without_faults(self):
+        events = trace_to_chrome_events(sample_trace())
+        assert not any(
+            e["ph"] == "M" and e.get("args", {}).get("name") == "faults"
+            for e in events
+        )
+
+    def test_end_to_end_from_simulation(self, tmp_path):
+        from repro.core.system import RTVirtSystem
+        from repro.faults import At, PcpuFail, PcpuRecover, Scenario
+        from repro.simcore.time import msec
+
+        system = RTVirtSystem(pcpu_count=2, trace=Trace())
+        Scenario(
+            [At(msec(2), PcpuFail(1)), At(msec(4), PcpuRecover(1))]
+        ).install(system)
+        system.run(msec(10))
+        events = trace_to_chrome_events(system.machine.trace)
+        names = [e["name"] for e in events if e.get("cat") == "faults"]
+        assert "fault:pcpu_fail" in names and "fault:pcpu_recover" in names
+
+
 class TestWilson:
     def test_zero_misses_has_nonzero_upper_bound(self):
         lo, hi = wilson_interval(0, 4800)

@@ -61,12 +61,22 @@ def rows_hash(rows) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def experiment_digest(experiment_id: str) -> dict:
-    """Run one experiment and return its row count and metrics hash."""
+def experiment_digest(experiment_id: str, seed=None) -> dict:
+    """Run one experiment and return its row count and metrics hash.
+
+    With *seed* set, seed-taking experiments (the robustness family) run
+    through the work-unit plans in-process (``jobs=1``) so the override
+    reaches them; the plans are the same ones the parallel rerun uses.
+    """
     started = time.perf_counter()
-    result = registry.run(experiment_id)
+    if seed is not None:
+        from repro.runner import run_experiments
+
+        report = run_experiments([experiment_id], jobs=1, seed=seed)
+        rows = report.reports[0].rows
+    else:
+        rows = registry.run(experiment_id).rows()
     elapsed = time.perf_counter() - started
-    rows = result.rows()
     return {
         "rows": len(rows),
         "sha256": rows_hash(rows),
@@ -74,7 +84,7 @@ def experiment_digest(experiment_id: str) -> dict:
     }
 
 
-def check_parallel(ids, serial_digests, jobs: int) -> list:
+def check_parallel(ids, serial_digests, jobs: int, seed=None) -> list:
     """Serial-vs-parallel gate: rerun through the work-unit runner.
 
     The runner executes each experiment's work units across *jobs*
@@ -86,7 +96,7 @@ def check_parallel(ids, serial_digests, jobs: int) -> list:
     from repro.runner import run_experiments
 
     print(f"[determinism] parallel rerun with {jobs} job(s) ...", flush=True)
-    report = run_experiments(ids, jobs=jobs)
+    report = run_experiments(ids, jobs=jobs, seed=seed)
     failures = []
     for experiment_report in report.reports:
         experiment_id = experiment_report.experiment_id
@@ -114,7 +124,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only",
         metavar="IDS",
-        help="comma-separated experiment ids (default: all)",
+        help="comma-separated experiment ids or globs like 'robustness_*' "
+        "(default: all)",
     )
     parser.add_argument(
         "--parallel",
@@ -123,15 +134,27 @@ def main(argv=None) -> int:
         help="also run the parallel work-unit runner with JOBS processes "
         "and fail unless its merged output hashes equal the serial run's",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="RNG-seed override for seed-taking experiments (robustness "
+        "family); applied to both the serial and the parallel pass",
+    )
     args = parser.parse_args(argv)
     if not (args.record or args.check or args.parallel):
         parser.error("one of --record, --check or --parallel is required")
 
-    ids = args.only.split(",") if args.only else registry.all_ids()
+    if args.only:
+        ids = registry.expand_ids(
+            [i.strip() for i in args.only.split(",") if i.strip()]
+        )
+    else:
+        ids = registry.all_ids()
     digests = {}
     for experiment_id in ids:
         print(f"[determinism] running {experiment_id} ...", flush=True)
-        digests[experiment_id] = experiment_digest(experiment_id)
+        digests[experiment_id] = experiment_digest(experiment_id, seed=args.seed)
         print(
             f"[determinism]   {experiment_id}: {digests[experiment_id]['sha256'][:16]} "
             f"({digests[experiment_id]['wall_s']}s)",
@@ -140,7 +163,7 @@ def main(argv=None) -> int:
 
     failures = []
     if args.parallel:
-        failures.extend(check_parallel(ids, digests, args.parallel))
+        failures.extend(check_parallel(ids, digests, args.parallel, seed=args.seed))
 
     if args.record:
         with open(args.record, "w") as fh:
