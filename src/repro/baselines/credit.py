@@ -40,6 +40,7 @@ from ..simcore.errors import ConfigurationError
 from ..simcore.events import PRIORITY_BUDGET, PRIORITY_SCHEDULE, Event
 from ..simcore.time import MSEC, USEC
 from ..simcore.trace import Trace
+from ..telemetry import events as T
 
 BOOST = 0
 UNDER = 1
@@ -170,7 +171,15 @@ class CreditScheduler(HostScheduler):
             info = self._info.get(occupant.uid)
             if info is None:
                 continue
+            was_solvent = info.credits >= 0
             info.credits -= self.tick_ns
+            if self._t_budget and was_solvent and info.credits < 0:
+                self.machine.bus.publish(
+                    T.BUDGET_DEPLETE,
+                    T.BudgetDepleteEvent(
+                        self.engine.now, occupant.name, info.credits
+                    ),
+                )
             self.tick_samples[occupant.name] = self.tick_samples.get(occupant.name, 0) + 1
         delay = self.tick_ns
         if self._jitter_source is not None:
@@ -199,6 +208,13 @@ class CreditScheduler(HostScheduler):
             share = grant_pool * info.weight // total
             if info.active:
                 info.credits += share
+                if self._t_budget and share > 0:
+                    self.machine.bus.publish(
+                        T.BUDGET_REPLENISH,
+                        T.BudgetReplenishEvent(
+                            self.engine.now, info.vcpu.name, share, info.credits
+                        ),
+                    )
                 if info.credits > share:
                     info.credits = 0
                     info.active = False

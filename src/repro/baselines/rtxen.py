@@ -28,8 +28,9 @@ from ..host.base_system import BaseSystem
 from ..host.costs import DEFAULT_COSTS, CostModel
 from ..host.edf import EDFHostScheduler, PartitionedEDFHostScheduler
 from ..simcore.engine import Engine
-from ..simcore.errors import ConfigurationError
+from ..simcore.errors import AdmissionError, ConfigurationError
 from ..simcore.trace import Trace
+from ..telemetry import events as T
 
 _HOST_SCHEDULERS = {
     "gedf": EDFHostScheduler,
@@ -105,6 +106,24 @@ class RTXenSystem(BaseSystem):
         """Guest-level (pEDF) registration onto the fixed VCPU servers.
 
         RT-Xen's guest scheduler performs only local admission — there is
-        no hypercall, and the host interfaces do not change.
+        no hypercall, and the host interfaces do not change.  Decisions
+        are published at system level (op ``"rtxen_register"``) on top
+        of whatever the guest scheduler itself emits.
         """
-        vm.register_task(task)
+        try:
+            vm.register_task(task)
+        except AdmissionError as exc:
+            self._emit_rta_decision(task, False, exc.level)
+            raise
+        self._emit_rta_decision(task, True, vm.name)
+
+    def _emit_rta_decision(self, task: Task, granted: bool, detail: str) -> None:
+        bus = self.machine.bus
+        if not bus.has_subscribers(T.ADMISSION_DECISION):
+            return
+        bus.publish(
+            T.ADMISSION_DECISION,
+            T.AdmissionDecisionEvent(
+                self.engine.now, "host", "rtxen_register", task.name, granted, detail
+            ),
+        )

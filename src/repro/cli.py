@@ -81,6 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario", help="run a declarative JSON scenario file"
     )
     scenario.add_argument("path", help="path to the scenario JSON")
+    scenario.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach streaming aggregators to the telemetry bus and "
+        "print miss-ratio / latency-tail / bandwidth summaries",
+    )
+    scenario.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="stream a chrome://tracing timeline of the run to PATH "
+        "(.json), without retaining a full trace in memory",
+    )
     return parser
 
 
@@ -166,11 +178,51 @@ def _cmd_run_all(args) -> int:
     return 0
 
 
-def _cmd_scenario(path: str) -> int:
+def _cmd_scenario(args) -> int:
     from .scenario import run_scenario_file
 
-    result = run_scenario_file(path)
+    holder = {}
+
+    def attach(system) -> None:
+        bus = system.machine.bus
+        if args.telemetry:
+            from .telemetry import StandardTelemetry
+
+            holder["telemetry"] = StandardTelemetry(bus)
+        if args.chrome_trace:
+            from .report.export import ChromeTraceExporter
+
+            holder["exporter"] = ChromeTraceExporter().attach(bus)
+
+    wants_bus = args.telemetry or args.chrome_trace
+    result = run_scenario_file(args.path, attach=attach if wants_bus else None)
     print(result.summary())
+    telemetry = holder.get("telemetry")
+    if telemetry is not None:
+        misses = telemetry.misses
+        print("telemetry (streamed):")
+        print(
+            f"  deadline miss ratio: {misses.miss_ratio() * 100:.3f}% "
+            f"({misses.decided()} decided)"
+        )
+        if telemetry.latency.stats.count:
+            tails = telemetry.latency.tail_usec()
+            tail_text = "  ".join(
+                f"p{p:g}={v:.1f}us" for p, v in sorted(tails.items())
+            )
+            print(
+                f"  job latency: mean={telemetry.latency.mean_usec():.1f}us  "
+                f"{tail_text}"
+            )
+        consumed_ns = telemetry.bandwidth.consumed_ns
+        print(
+            f"  cpu consumed: {sum(consumed_ns.values()) / 1e6:.1f}ms "
+            f"across {len(consumed_ns)} vcpus"
+        )
+    exporter = holder.get("exporter")
+    if exporter is not None:
+        count = exporter.write(args.chrome_trace)
+        print(f"chrome trace: {count} events -> {args.chrome_trace}")
     return 0
 
 
@@ -182,7 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-all":
         return _cmd_run_all(args)
     if args.command == "scenario":
-        return _cmd_scenario(args.path)
+        return _cmd_scenario(args)
     return _cmd_run(args.ids)
 
 

@@ -14,10 +14,12 @@ remaining capacity.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..guest.vcpu import VCPU
 from ..simcore.errors import ConfigurationError
+from ..telemetry import events as T
+from ..telemetry.bus import TelemetryBus
 
 
 class UtilizationAdmission:
@@ -33,6 +35,29 @@ class UtilizationAdmission:
         self.pcpu_count = pcpu_count
         self.background_reserve = Fraction(background_reserve)
         self._granted: Dict[int, Fraction] = {}  # vcpu uid -> bandwidth
+        self._names: Dict[int, str] = {}  # vcpu uid -> last-known name
+        self._bus: Optional[TelemetryBus] = None
+        self._clock: Optional[Callable[[], int]] = None
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def bind_telemetry(self, bus: TelemetryBus, clock: Callable[[], int]) -> None:
+        """Publish :data:`~repro.telemetry.events.ADMISSION_DECISION`
+        events on *bus*, timestamped by the 0-ary *clock* (the admission
+        test itself is pure and holds no engine reference)."""
+        self._bus = bus
+        self._clock = clock
+
+    def _emit(self, op: str, subject: str, granted: bool, detail: str) -> None:
+        bus = self._bus
+        if bus is None or not bus.has_subscribers(T.ADMISSION_DECISION):
+            return
+        bus.publish(
+            T.ADMISSION_DECISION,
+            T.AdmissionDecisionEvent(
+                self._clock(), "host", op, subject, granted, detail
+            ),
+        )
 
     @property
     def capacity(self) -> Fraction:
@@ -60,21 +85,32 @@ class UtilizationAdmission:
         is returned; on failure nothing changes.
         """
         updates = list(updates)
+        ok, reason = self._test_and_commit(updates)
+        for vcpu, budget_ns, period_ns in updates:
+            if ok:
+                self._names[vcpu.uid] = vcpu.name
+            self._emit("commit", vcpu.name, ok, reason or f"{budget_ns}/{period_ns}")
+        return ok
+
+    def _test_and_commit(
+        self, updates: List[Tuple[VCPU, int, int]]
+    ) -> Tuple[bool, str]:
+        """The atomic test; returns (ok, rejection-reason)."""
         new_grants: Dict[int, Fraction] = {}
         for vcpu, budget_ns, period_ns in updates:
             if period_ns <= 0 or budget_ns < 0:
-                return False
+                return False, "invalid-params"
             bw = Fraction(budget_ns, period_ns)
             if bw > 1:
-                return False  # one VCPU cannot exceed one PCPU
+                return False, "exceeds-one-pcpu"
             new_grants[vcpu.uid] = bw
         total = self.total_granted
         for uid, bw in new_grants.items():
             total += bw - self._granted.get(uid, Fraction(0))
         if total > self.capacity:
-            return False
+            return False, "over-capacity"
         self._granted.update(new_grants)
-        return True
+        return True, ""
 
     def commit_decrease(self, updates: Iterable[Tuple[VCPU, int, int]]) -> None:
         """Apply DEC_BW updates (never rejected)."""
@@ -82,10 +118,14 @@ class UtilizationAdmission:
             if period_ns <= 0:
                 raise ConfigurationError(f"{vcpu.name}: invalid period {period_ns}")
             self._granted[vcpu.uid] = Fraction(budget_ns, period_ns)
+            self._names[vcpu.uid] = vcpu.name
+            self._emit("decrease", vcpu.name, True, f"{budget_ns}/{period_ns}")
 
     def release(self, vcpu: VCPU) -> None:
         """Forget *vcpu* entirely (VM teardown)."""
-        self._granted.pop(vcpu.uid, None)
+        if self._granted.pop(vcpu.uid, None) is not None:
+            self._emit("release", vcpu.name, True, "")
+        self._names.pop(vcpu.uid, None)
 
     # -- fault injection ---------------------------------------------------------
 
@@ -121,4 +161,5 @@ class UtilizationAdmission:
             self._granted[uid] = Fraction(0)
             total -= bw
             revoked.append(uid)
+            self._emit("shed", self._names.get(uid, str(uid)), False, "revoked")
         return revoked

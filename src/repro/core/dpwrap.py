@@ -31,6 +31,7 @@ from ..host.scheduler import HostScheduler
 from ..simcore.errors import ConfigurationError, SchedulingError
 from ..simcore.events import PRIORITY_SCHEDULE, Event
 from ..simcore.time import MSEC, USEC
+from ..telemetry import events as T
 from .shared_memory import SharedMemoryPage
 
 #: A reservation piece: the interval [start, end) on one PCPU.
@@ -281,6 +282,18 @@ class DPWrapScheduler(HostScheduler):
         alloc = max(0, min(alloc, available))
         self._carry[vcpu.uid] = entitlement - alloc
         self._laid[vcpu.uid] = self._laid.get(vcpu.uid, 0) + alloc
+        if self._t_budget and alloc > 0:
+            # DP-WRAP has no deplete moment: entitlement is laid out per
+            # slice and unused pieces are donated, so only grants exist.
+            self.machine.bus.publish(
+                T.BUDGET_REPLENISH,
+                T.BudgetReplenishEvent(
+                    now,
+                    vcpu.name,
+                    alloc,
+                    self._laid[vcpu.uid] - self._received.get(vcpu.uid, 0),
+                ),
+            )
         return alloc
 
     def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:

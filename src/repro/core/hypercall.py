@@ -14,6 +14,7 @@ from typing import List
 from ..guest.port import CrossLayerPort, ParamUpdate
 from ..guest.vcpu import VCPU
 from ..host.machine import Machine
+from ..telemetry import events as T
 from .admission import UtilizationAdmission
 from .flags import SchedRTVirtFlag
 from .shared_memory import SharedMemoryPage
@@ -59,6 +60,27 @@ class RTVirtHypercall(CrossLayerPort):
     def _charge(self) -> None:
         self.machine.charge_hypercall(pcpu_index=0)
 
+    def _emit(
+        self, updates: List[ParamUpdate], outcome: str, flag: SchedRTVirtFlag
+    ) -> None:
+        """Publish one :class:`HypercallEvent` per affected VCPU.
+
+        Hypercalls are rare (registration/mode changes), so the direct
+        ``has_subscribers`` test is cheap enough without a cached flag.
+        """
+        bus = self.machine.bus
+        if not bus.has_subscribers(T.HYPERCALL):
+            return
+        now = self.machine.engine.now
+        for vcpu, budget_ns, period_ns in updates:
+            bus.publish(
+                T.HYPERCALL,
+                T.HypercallEvent(
+                    now, vcpu.name, flag.name.lower(), outcome,
+                    flag.value, budget_ns, period_ns,
+                ),
+            )
+
     def _apply(self, updates: List[ParamUpdate]) -> None:
         """Install new VCPU parameters host-side (possibly deferred)."""
         for vcpu, budget_ns, period_ns in updates:
@@ -89,12 +111,15 @@ class RTVirtHypercall(CrossLayerPort):
             # the host commits nothing.
             self.dropped += 1
             self.log.append((flag, False))
+            self._emit(updates, "dropped", flag)
             return False
         if not self.admission.try_commit(updates):
             self.log.append((flag, False))
+            self._emit(updates, "rejected", flag)
             return False
-        self._deliver(updates)
+        deferred = self._deliver(updates)
         self.log.append((flag, True))
+        self._emit(updates, "delayed" if deferred else "granted", flag)
         return True
 
     def notify_decrease(self, updates: List[ParamUpdate]) -> None:
@@ -104,10 +129,14 @@ class RTVirtHypercall(CrossLayerPort):
             # Lost notification: the host keeps the old (larger) grant.
             self.dropped += 1
             self.log.append((SchedRTVirtFlag.DEC_BW, False))
+            self._emit(updates, "dropped", SchedRTVirtFlag.DEC_BW)
             return
         self.admission.commit_decrease(updates)
-        self._deliver(updates)
+        deferred = self._deliver(updates)
         self.log.append((SchedRTVirtFlag.DEC_BW, True))
+        self._emit(
+            updates, "delayed" if deferred else "applied", SchedRTVirtFlag.DEC_BW
+        )
 
     def vcpu_added(self, vcpu: VCPU) -> None:
         """CPU hotplug: the new VCPU becomes visible to the host.
@@ -116,3 +145,11 @@ class RTVirtHypercall(CrossLayerPort):
         installs its parameters.
         """
         self.shared_memory.map_vcpu(vcpu)
+        bus = self.machine.bus
+        if bus.has_subscribers(T.HYPERCALL):
+            bus.publish(
+                T.HYPERCALL,
+                T.HypercallEvent(
+                    self.machine.engine.now, vcpu.name, "attach", "granted", 0, 0, 0
+                ),
+            )

@@ -56,6 +56,7 @@ class RTVirtSystem(BaseSystem):
         )
         self.machine.set_host_scheduler(self.scheduler)
         self.admission = UtilizationAdmission(pcpu_count, background_reserve)
+        self.admission.bind_telemetry(self.machine.bus, lambda: self.engine.now)
         self.default_slack_ns = slack_ns
         #: Bandwidth shed by a PCPU failure, awaiting re-admission:
         #: (vcpu, budget_ns, period_ns) in displacement order.

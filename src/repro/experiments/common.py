@@ -12,10 +12,22 @@ from typing import Dict, Iterable, List, Sequence
 
 
 def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
-    """Render rows as a fixed-width text table (the bench output format)."""
+    """Render rows as a fixed-width text table (the bench output format).
+
+    Columns are the ordered union of every row's keys (first-seen order),
+    so heterogeneous rows — e.g. a summary row carrying an extra metric —
+    render every field instead of silently dropping columns the first
+    row happens to lack.
+    """
     if not rows:
         return f"{title}\n(no rows)" if title else "(no rows)"
-    columns = list(rows[0].keys())
+    columns: List[str] = []
+    seen = set()
+    for row in rows:
+        for key in row.keys():
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
     rendered: List[List[str]] = [[_cell(r.get(c, "")) for c in columns] for r in rows]
     widths = [
         max(len(col), *(len(row[i]) for row in rendered)) for i, col in enumerate(columns)

@@ -5,9 +5,12 @@ The subsystem has three parts (DESIGN.md §8):
 - :mod:`injectors` — fault classes applied as first-class simulation
   events: PCPU fail/recover, VM boot/shutdown churn, hypercall
   delay/drop, workload surge, and clock jitter on budget replenishment;
-- :mod:`scenario` — a declarative timeline DSL
+- :mod:`timeline` — a declarative timeline DSL
   (``Scenario([At(t, PcpuFail(2)), Every(p, VmChurn())])``) that
-  installs injectors onto a system's event engine;
+  installs injectors onto a system's event engine (formerly
+  ``repro.faults.scenario``, renamed to stop colliding with the
+  top-level :mod:`repro.scenario` experiment runner; the old module
+  path remains as a deprecation shim);
 - :mod:`invariants` — an online checker hooked into the engine that
   validates scheduling invariants after every event batch and raises
   :class:`~repro.simcore.errors.InvariantViolation` with the offending
@@ -31,7 +34,7 @@ from .injectors import (
     WorkloadSurge,
 )
 from .invariants import InvariantChecker
-from .scenario import At, Every, Scenario
+from .timeline import At, Every, Scenario
 
 __all__ = [
     "At",

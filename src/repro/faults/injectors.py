@@ -35,7 +35,13 @@ from ..simcore.errors import AdmissionError, ConfigurationError
 from ..simcore.events import PRIORITY_FAULT
 from ..simcore.rng import RandomStreams
 from ..simcore.time import MSEC
+from ..telemetry import events as T
 from ..workloads.periodic import PeriodicDriver
+
+#: Trailing detail words that mark a fault application as the *end* of a
+#: fault window rather than a fresh injection (classified as
+#: :data:`~repro.telemetry.events.FAULT_RECOVERED`).
+_RECOVERY_MARKERS = ("end", "revert", "shutdown")
 
 
 class FaultContext:
@@ -59,11 +65,32 @@ class FaultContext:
         self._drivers: Dict[str, List[PeriodicDriver]] = {}
 
     def record(self, kind: str, *detail, trace: bool = True) -> None:
-        """Log one applied fault (and mirror it into the trace)."""
+        """Log one applied fault and publish it on the telemetry bus.
+
+        Pass ``trace=False`` when another layer (the machine) already
+        published the event — the local log is still appended.  Faults
+        whose detail ends in a recovery marker ("end"/"revert"/
+        "shutdown"), and ``pcpu_recover``, publish as
+        :data:`~repro.telemetry.events.FAULT_RECOVERED`; everything else
+        as :data:`~repro.telemetry.events.FAULT_INJECTED`.  The machine
+        trace (when enabled) receives them through its bus subscription,
+        preserving the legacy ``"fault"`` trace records.
+        """
         now = self.engine.now
         self.log.append((now, kind, detail))
-        if trace and self.machine._tracing:
-            self.machine.trace.record_event(now, "fault", kind, *detail)
+        if not trace:
+            return
+        recovered = kind == "pcpu_recover" or (
+            detail and detail[-1] in _RECOVERY_MARKERS
+        )
+        bus = self.machine.bus
+        if recovered:
+            if bus.has_subscribers(T.FAULT_RECOVERED):
+                bus.publish(
+                    T.FAULT_RECOVERED, T.FaultRecoveredEvent(now, kind, detail)
+                )
+        elif bus.has_subscribers(T.FAULT_INJECTED):
+            bus.publish(T.FAULT_INJECTED, T.FaultInjectedEvent(now, kind, detail))
 
     def next_index(self, key: str) -> int:
         """Deterministic per-kind counter (names for churned VMs)."""

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 
 from ..host.edf import EDFHostScheduler, PartitionedEDFHostScheduler
 from ..simcore.errors import InvariantViolation
+from ..telemetry import events as T
 
 
 class InvariantChecker:
@@ -49,16 +50,58 @@ class InvariantChecker:
         #: Number of batch checks performed.
         self.checks = 0
         self._window: deque = deque(maxlen=window)
+        #: (time, "injected"/"recovered", fault-kind) observed via the
+        #: telemetry bus, so a violation can be correlated with the
+        #: fault activity that preceded it.
+        self.fault_log: List[Tuple[int, str, str]] = []
+        self._unsubscribe = None
 
     def attach(self) -> "InvariantChecker":
-        """Register with the engine.
+        """Register with the engine and the machine's telemetry bus.
 
         Call after the system is fully constructed: post hooks run in
         registration order, so attaching last means the machine refresh
-        and the scheduler's pass have settled before the check.
+        and the scheduler's pass have settled before the check.  Bus
+        subscriptions add (a) a fault log correlated with violations and
+        (b) an *eager* capacity check on every granted host admission
+        decision, catching over-commitment at the decision instant
+        instead of the end of the batch.
         """
         self.engine.add_post_hook(self._check)
+        bus = self.machine.bus
+        cancels = [
+            bus.subscribe(T.FAULT_INJECTED, self._on_fault_injected),
+            bus.subscribe(T.FAULT_RECOVERED, self._on_fault_recovered),
+            bus.subscribe(T.ADMISSION_DECISION, self._on_admission),
+        ]
+
+        def unsubscribe() -> None:
+            for cancel in cancels:
+                cancel()
+
+        self._unsubscribe = unsubscribe
         return self
+
+    def detach_telemetry(self) -> None:
+        """Drop the bus subscriptions (the post hook stays registered)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- bus subscribers ----------------------------------------------------------
+
+    def _on_fault_injected(self, event: T.FaultInjectedEvent) -> None:
+        self.fault_log.append((event.time, "injected", event.fault))
+
+    def _on_fault_recovered(self, event: T.FaultRecoveredEvent) -> None:
+        self.fault_log.append((event.time, "recovered", event.fault))
+
+    def _on_admission(self, event: T.AdmissionDecisionEvent) -> None:
+        if not self.enabled or not event.granted or event.level != "host":
+            return
+        admission = getattr(self.system, "admission", None)
+        if admission is not None:
+            self._check_capacity(admission)
 
     # -- snapshotting -------------------------------------------------------------
 

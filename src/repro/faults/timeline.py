@@ -1,0 +1,112 @@
+"""Declarative fault timelines.
+
+A :class:`Scenario` is a list of directives placing faults on the
+simulated clock:
+
+    scenario = Scenario([
+        At(sec(2), PcpuFail(2)),
+        At(sec(4), PcpuRecover(2)),
+        Every(msec(500), VmChurn(lifetime_ns=msec(300)), count=8),
+    ])
+    ctx = scenario.install(system, streams=RandomStreams(seed))
+
+``install`` schedules plain engine events at ``PRIORITY_FAULT`` (after
+budget accounting, before the scheduling pass of the same instant), so
+faults interleave deterministically with the rest of the simulation and
+replay bit-identically for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..simcore.errors import ConfigurationError
+from ..simcore.events import PRIORITY_FAULT
+from ..simcore.rng import RandomStreams
+from .injectors import Fault, FaultContext
+
+
+@dataclass(frozen=True)
+class At:
+    """Apply *fault* once, at absolute *time_ns*."""
+
+    time_ns: int
+    fault: Fault
+
+
+@dataclass(frozen=True)
+class Every:
+    """Apply *fault* every *period_ns*, starting at *start_ns*.
+
+    The first application lands at ``start_ns`` (defaults to one period
+    in); *count* bounds the number of applications (``None`` = until the
+    run ends).
+    """
+
+    period_ns: int
+    fault: Fault
+    start_ns: Optional[int] = None
+    count: Optional[int] = None
+
+
+Directive = Union[At, Every]
+
+
+class Scenario:
+    """An ordered set of fault directives, installable onto a system."""
+
+    def __init__(self, directives: Sequence[Directive]) -> None:
+        for d in directives:
+            if not isinstance(d, (At, Every)):
+                raise ConfigurationError(f"not a scenario directive: {d!r}")
+            if isinstance(d, At) and d.time_ns < 0:
+                raise ConfigurationError(f"directive before t=0: {d!r}")
+            if isinstance(d, Every) and d.period_ns <= 0:
+                raise ConfigurationError(f"non-positive period: {d!r}")
+        self.directives = tuple(directives)
+
+    def install(self, system, streams: Optional[RandomStreams] = None) -> FaultContext:
+        """Schedule every directive on *system*'s engine.
+
+        Returns the :class:`FaultContext` the injectors share — its
+        ``log`` is the authoritative record of what was applied when.
+        """
+        ctx = FaultContext(system, streams)
+        engine = system.engine
+        for d in self.directives:
+            if isinstance(d, At):
+                engine.at(
+                    d.time_ns,
+                    d.fault.apply,
+                    ctx,
+                    priority=PRIORITY_FAULT,
+                    name=f"fault:{d.fault.kind}",
+                )
+            else:
+                start = d.start_ns if d.start_ns is not None else d.period_ns
+                engine.at(
+                    max(start, engine.now),
+                    self._tick,
+                    ctx,
+                    d,
+                    1,
+                    priority=PRIORITY_FAULT,
+                    name=f"fault:{d.fault.kind}:every",
+                )
+        return ctx
+
+    @staticmethod
+    def _tick(ctx: FaultContext, directive: Every, applied: int) -> None:
+        directive.fault.apply(ctx)
+        if directive.count is not None and applied >= directive.count:
+            return
+        ctx.engine.after(
+            directive.period_ns,
+            Scenario._tick,
+            ctx,
+            directive,
+            applied + 1,
+            priority=PRIORITY_FAULT,
+            name=f"fault:{directive.fault.kind}:every",
+        )

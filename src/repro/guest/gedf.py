@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..telemetry import events as T
 from .pedf import PEDFGuestScheduler
 from .task import Job, TaskKind
 from .vcpu import VCPU
@@ -68,6 +69,18 @@ class GEDFGuestScheduler(PEDFGuestScheduler):
                 and best.task.vcpu is not vcpu
             ):
                 self.migrations += 1
+                machine = getattr(self.vm, "machine", None)
+                if machine is not None and machine.bus.has_subscribers(T.MIGRATION):
+                    machine.bus.publish(
+                        T.MIGRATION,
+                        T.MigrationEvent(
+                            now,
+                            best.task.name,
+                            best.task.vcpu.index,
+                            vcpu.index,
+                            "guest",
+                        ),
+                    )
         return best
 
     def on_vcpu_descheduled(self, vcpu: VCPU) -> None:

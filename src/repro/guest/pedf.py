@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..simcore.errors import AdmissionError, ConfigurationError
+from ..telemetry import events as T
 from .params import derive_vcpu_params, fits_on_vcpu
 from .port import ParamUpdate
 from .task import Job, Task, TaskKind
@@ -54,6 +55,21 @@ class PEDFGuestScheduler:
                 return vcpu
         return None
 
+    def _emit_admission(self, op: str, task: Task, granted: bool, detail: str) -> None:
+        """Publish a guest-level admission decision (when anyone listens)."""
+        machine = getattr(self.vm, "machine", None)
+        if machine is None:
+            return
+        bus = machine.bus
+        if not bus.has_subscribers(T.ADMISSION_DECISION):
+            return
+        bus.publish(
+            T.ADMISSION_DECISION,
+            T.AdmissionDecisionEvent(
+                machine.engine.now, "guest", op, task.name, granted, detail
+            ),
+        )
+
     # -- registration (paper §3.2 case 1) --------------------------------------
 
     def register(self, task: Task) -> VCPU:
@@ -62,6 +78,15 @@ class PEDFGuestScheduler:
         Raises :class:`AdmissionError` when neither placement, reshuffling
         nor hotplug can accommodate the task.
         """
+        try:
+            vcpu = self._register(task)
+        except AdmissionError as exc:
+            self._emit_admission("register", task, False, exc.level)
+            raise
+        self._emit_admission("register", task, True, vcpu.name)
+        return vcpu
+
+    def _register(self, task: Task) -> VCPU:
         if task.kind is TaskKind.BACKGROUND:
             # Background processes need no reservation; spread round-robin.
             vcpu = self.vm.vcpus[len(self.vm.background_tasks) % len(self.vm.vcpus)]

@@ -19,6 +19,7 @@ from fractions import Fraction
 from typing import List, Optional
 
 from ..simcore.errors import ConfigurationError
+from ..telemetry import events as T
 from .task import Job, Task, TaskKind
 
 
@@ -60,6 +61,14 @@ class VCPU:
             )
         self.budget_ns = budget_ns
         self.period_ns = period_ns
+        machine = getattr(self.vm, "machine", None)
+        if machine is not None and machine.bus.has_subscribers(T.VCPU_PARAMS):
+            machine.bus.publish(
+                T.VCPU_PARAMS,
+                T.VcpuParamsEvent(
+                    machine.engine.now, self.name, self.uid, budget_ns, period_ns
+                ),
+            )
 
     # -- task management ------------------------------------------------------
 

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..guest.vcpu import VCPU
 from ..simcore.errors import ConfigurationError, SchedulingError
 from ..simcore.events import PRIORITY_BUDGET, Event
+from ..telemetry import events as T
 from .scheduler import HostScheduler
 
 
@@ -168,6 +169,13 @@ class EDFHostScheduler(HostScheduler):
         self._ready[server.vcpu.uid] = server
         heapq.heappush(self._heap, server.key)
         self._mutations += 1
+        if self._t_budget:
+            self.machine.bus.publish(
+                T.BUDGET_REPLENISH,
+                T.BudgetReplenishEvent(
+                    now, server.vcpu.name, server.budget, server.remaining
+                ),
+            )
         # Fault injection: a sloppy hypervisor clock fires the next
         # replenishment late by up to the configured jitter.  The
         # deadline stays nominal — the server simply keeps its stale
@@ -192,6 +200,11 @@ class EDFHostScheduler(HostScheduler):
         if server.remaining > 0:  # raced with a preemption; timer is stale
             return
         self._mutations += 1
+        if self._t_budget:
+            self.machine.bus.publish(
+                T.BUDGET_DEPLETE,
+                T.BudgetDepleteEvent(self.engine.now, server.vcpu.name, 0),
+            )
         self._request_reschedule()
 
     def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:

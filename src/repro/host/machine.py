@@ -30,6 +30,8 @@ from ..simcore.engine import Engine
 from ..simcore.errors import ConfigurationError, SchedulingError
 from ..simcore.events import PRIORITY_COMPLETION, PRIORITY_SCHEDULE
 from ..simcore.trace import NullTrace, Trace
+from ..telemetry import events as T
+from ..telemetry.bus import TelemetryBus
 from .costs import DEFAULT_COSTS, CostModel
 from .pcpu import PCPU
 
@@ -53,6 +55,11 @@ class Machine:
         self.engine = engine
         self.pcpus: List[PCPU] = [PCPU(i) for i in range(pcpu_count)]
         self.costs = cost_model
+        #: Every producer on this host publishes typed events here; the
+        #: watcher below caches per-kind interest flags so the hot paths
+        #: pay one attribute test when nothing subscribes.
+        self.bus = TelemetryBus()
+        self.bus.watch(self._on_telemetry_change)
         self.trace = trace if trace is not None else NullTrace()
         self.metrics = HostMetrics()
         self.vms: List[VM] = []
@@ -81,10 +88,29 @@ class Machine:
 
     @trace.setter
     def trace(self, value: Trace) -> None:
-        # Cache the "is anyone listening" test: the hot paths check a
-        # plain attribute instead of a NullTrace isinstance per segment.
+        # The trace is a bus subscriber like any other consumer: a real
+        # trace connects (raising the relevant interest flags), a
+        # NullTrace leaves the bus silent.  ``_tracing`` is kept for
+        # callers that still ask "is a real trace installed?".
+        old = getattr(self, "_trace", None)
+        if old is not None:
+            old.disconnect()
         self._trace = value
         self._tracing = not isinstance(value, NullTrace)
+        if self._tracing:
+            value.connect(self.bus)
+
+    def _on_telemetry_change(self, bus: TelemetryBus) -> None:
+        """Refresh the cached per-kind interest flags (bus watcher)."""
+        has = bus.has_subscribers
+        self._t_segment = has(T.SEGMENT_END)
+        self._t_switch = has(T.CONTEXT_SWITCH) or has(T.MIGRATION)
+        self._t_complete = has(T.JOB_COMPLETE)
+        self._t_deadline = (
+            has(T.DEADLINE_HIT) or has(T.DEADLINE_MISS) or has(T.JOB_LATENCY)
+        )
+        self._t_fault = has(T.FAULT_INJECTED) or has(T.FAULT_RECOVERED)
+        self._t_account = has(T.CPU_ACCOUNT)
 
     def _request_refresh(self) -> None:
         """Guarantee a refresh pass runs at the current instant.
@@ -165,9 +191,17 @@ class Machine:
         if vcpu is not None and job is not None and effective > 0:
             job.charge(effective)
             usage.busy += effective
-            if self._tracing:
-                self.trace.record_segment(
-                    pcpu.index, vcpu.name, job.task.name, max(last, now - effective), now
+            if self._t_segment:
+                self.bus.publish(
+                    T.SEGMENT_END,
+                    T.SegmentEndEvent(
+                        now,
+                        pcpu.index,
+                        vcpu.name,
+                        job.task.name,
+                        max(last, now - effective),
+                        now,
+                    ),
                 )
             if job.remaining == 0:
                 # Retire immediately: a preemption at this exact instant
@@ -175,6 +209,11 @@ class Machine:
                 # leave the finished job clogging the guest queue.
                 self._retire(pcpu, job)
         if vcpu is not None and self.host_scheduler is not None:
+            if self._t_account:
+                self.bus.publish(
+                    T.CPU_ACCOUNT,
+                    T.CpuAccountEvent(now, vcpu.name, vcpu.uid, pcpu.index, elapsed),
+                )
             self.host_scheduler.account(vcpu, pcpu.index, elapsed)
         pcpu.last_sync = now
 
@@ -288,10 +327,27 @@ class Machine:
                 self.metrics.overhead.record_migration(self.costs.migration_ns)
                 cost += self.costs.migration_ns
             self._extend_overhead(pcpu, cost)
-            if self._tracing:
-                self.trace.record_event(
-                    self.engine.now, "switch", pcpu_index, vcpu.name, migrated
+            if self._t_switch:
+                now = self.engine.now
+                self.bus.publish(
+                    T.CONTEXT_SWITCH,
+                    T.ContextSwitchEvent(now, pcpu_index, vcpu.name, migrated),
                 )
+                if migrated:
+                    self.bus.publish(
+                        T.MIGRATION,
+                        T.MigrationEvent(
+                            now,
+                            vcpu.name,
+                            self._vcpu_last_pcpu[vcpu.uid],
+                            pcpu_index,
+                        ),
+                    )
+        elif self._t_switch:
+            self.bus.publish(
+                T.CONTEXT_SWITCH,
+                T.ContextSwitchEvent(self.engine.now, pcpu_index, None, False),
+            )
         pcpu.running_vcpu = vcpu
         pcpu.current_job = None
         pcpu.idle_notified = False
@@ -320,10 +376,14 @@ class Machine:
         self.sync_pcpu(pcpu)
         self._cancel_completion(pcpu)
         self._dirty_pcpus.discard(pcpu_index)
-        if self._tracing:
-            self.trace.record_event(
-                self.engine.now, "fault", "pcpu_fail", pcpu_index,
-                victim.name if victim is not None else None,
+        if self._t_fault:
+            self.bus.publish(
+                T.FAULT_INJECTED,
+                T.FaultInjectedEvent(
+                    self.engine.now,
+                    "pcpu_fail",
+                    (pcpu_index, victim.name if victim is not None else None),
+                ),
             )
         if self.host_scheduler is not None:
             self.host_scheduler.on_pcpu_failed(pcpu_index, victim)
@@ -340,9 +400,12 @@ class Machine:
         pcpu.overhead_until = self.engine.now
         pcpu.idle_notified = False
         self._dirty_pcpus.add(pcpu_index)
-        if self._tracing:
-            self.trace.record_event(
-                self.engine.now, "fault", "pcpu_recover", pcpu_index, None
+        if self._t_fault:
+            self.bus.publish(
+                T.FAULT_RECOVERED,
+                T.FaultRecoveredEvent(
+                    self.engine.now, "pcpu_recover", (pcpu_index, None)
+                ),
             )
         if self.host_scheduler is not None:
             self.host_scheduler.on_pcpu_recovered(pcpu_index)
@@ -414,7 +477,8 @@ class Machine:
             )
 
     def _retire(self, pcpu: PCPU, job: Job) -> None:
-        job.task.retire_job(job, self.engine.now)
+        now = self.engine.now
+        job.task.retire_job(job, now)
         if pcpu.current_job is job:
             pcpu.current_job = None
         self._cancel_completion(pcpu)
@@ -422,8 +486,35 @@ class Machine:
         vcpu = pcpu.running_vcpu
         if vcpu is not None and self.host_scheduler is not None:
             self.host_scheduler.on_work_drained(vcpu)
-        if self._tracing:
-            self.trace.record_event(self.engine.now, "complete", job.task.name, job.index)
+        if self._t_complete:
+            self.bus.publish(
+                T.JOB_COMPLETE, T.JobCompleteEvent(now, job.task.name, job.index)
+            )
+        if self._t_deadline and job.deadline is not None:
+            # Same outcome rule as DeadlineStats.record_completion.
+            if now <= job.deadline:
+                self.bus.publish(
+                    T.DEADLINE_HIT,
+                    T.DeadlineHitEvent(
+                        now, job.task.name, job.index, job.release, job.deadline
+                    ),
+                )
+            else:
+                self.bus.publish(
+                    T.DEADLINE_MISS,
+                    T.DeadlineMissEvent(
+                        now,
+                        job.task.name,
+                        job.index,
+                        job.release,
+                        job.deadline,
+                        now - job.deadline,
+                    ),
+                )
+            self.bus.publish(
+                T.JOB_LATENCY,
+                T.JobLatencyEvent(now, job.task.name, job.index, now - job.release),
+            )
 
     # -- the refresh pass ----------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ from ..guest.vcpu import VCPU
 from ..simcore.errors import SchedulingError
 from ..simcore.events import PRIORITY_DEFAULT
 from ..simcore.time import MSEC
+from ..telemetry import events as T
 
 
 class HostScheduler(abc.ABC):
@@ -36,12 +37,24 @@ class HostScheduler(abc.ABC):
         #: into the scheduler's own timer arming (fault injection).
         self._jitter_source = None
         self._jitter_max = 0
+        #: Cached "anyone listening for budget events?" flag; refreshed
+        #: by the machine bus's watcher once attached.  Budget-based
+        #: schedulers test it before constructing replenish/deplete
+        #: events on their timer paths.
+        self._t_budget = False
 
     # -- wiring ---------------------------------------------------------------
 
     def attach(self, machine) -> None:
         """Called by :meth:`Machine.set_host_scheduler`."""
         self.machine = machine
+        machine.bus.watch(self._on_telemetry_change)
+
+    def _on_telemetry_change(self, bus) -> None:
+        """Refresh cached telemetry interest flags (bus watcher)."""
+        self._t_budget = bus.has_subscribers(
+            T.BUDGET_REPLENISH
+        ) or bus.has_subscribers(T.BUDGET_DEPLETE)
 
     @property
     def engine(self):

@@ -10,10 +10,10 @@ constant network delay can be added when reporting client-side numbers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..simcore.time import to_usec
-from .percentiles import cdf_points, fraction_below, mean, tail_summary
+from .percentiles import SortedSamples
 
 
 @dataclass
@@ -22,6 +22,11 @@ class LatencyRecorder:
 
     name: str = "latency"
     samples_ns: List[int] = field(default_factory=list)
+    # Sorted-µs view, keyed on the sample count so appends (and
+    # merge_recorders' direct extends) invalidate it automatically.
+    _sorted_cache: Optional[Tuple[int, SortedSamples]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
@@ -36,29 +41,37 @@ class LatencyRecorder:
         """All samples converted to microseconds."""
         return [to_usec(s) for s in self.samples_ns]
 
+    def _sorted_usec(self) -> SortedSamples:
+        """The µs samples sorted once and reused until the sample grows."""
+        cache = self._sorted_cache
+        if cache is None or cache[0] != len(self.samples_ns):
+            cache = (len(self.samples_ns), SortedSamples(self.samples_usec))
+            self._sorted_cache = cache
+        return cache[1]
+
     def tail_usec(self) -> Dict[float, float]:
         """90/95/99/99.9th percentile latencies in µs (a Table 4 row)."""
-        return tail_summary(self.samples_usec)
+        return self._sorted_usec().tail_summary()
 
     def p999_usec(self) -> float:
         """The 99.9th percentile latency in µs."""
-        return self.tail_usec()[99.9]
+        return self._sorted_usec().percentile(99.9)
 
     def mean_usec(self) -> float:
         """Average latency in µs."""
-        return mean(self.samples_usec)
+        return self._sorted_usec().mean()
 
     def cdf_usec(self) -> List[Tuple[float, float]]:
         """Empirical CDF points in µs (a Figure 5 curve)."""
-        return cdf_points(self.samples_usec)
+        return self._sorted_usec().cdf_points()
 
     def slo_attainment(self, slo_usec: float) -> float:
         """Fraction of requests at or below *slo_usec*."""
-        return fraction_below(self.samples_usec, slo_usec)
+        return self._sorted_usec().fraction_below(slo_usec)
 
     def meets_slo(self, slo_usec: float, quantile: float = 99.9) -> bool:
         """True when the given percentile is within the SLO."""
-        return tail_summary(self.samples_usec)[quantile] <= slo_usec
+        return self._sorted_usec().percentile(quantile) <= slo_usec
 
 
 def merge_recorders(recorders: Sequence[LatencyRecorder], name: str = "merged") -> LatencyRecorder:

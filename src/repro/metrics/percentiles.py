@@ -4,12 +4,21 @@ The paper reports 90th/95th/99th/99.9th percentile latencies (Table 4,
 Figure 5) and CDF curves.  We use the nearest-rank definition on the
 sorted sample, which is what latency-measurement tools like Mutilate
 report and is well-defined for the small-tail quantiles we care about.
+
+All query helpers route through :class:`SortedSamples`, which sorts the
+sample exactly once; callers that ask several questions of the same
+sample (every tail + CDF + SLO check) should construct one and reuse
+it.  :func:`merge_sorted_samples` combines already-sorted shards in
+linear time — the runner's aggregate merge uses it to recombine
+per-work-unit samples without re-sorting the union.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, List, Sequence, Tuple
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 
 def _rank(p: float, n: int) -> int:
@@ -17,27 +26,82 @@ def _rank(p: float, n: int) -> int:
     return max(1, math.ceil(p * n / 100.0 - 1e-9))
 
 
+class SortedSamples:
+    """A sample sorted once, answering any number of percentile queries."""
+
+    __slots__ = ("ordered",)
+
+    def __init__(self, samples: Sequence[float], *, presorted: bool = False):
+        self.ordered: List[float] = (
+            list(samples) if presorted else sorted(samples)
+        )
+
+    def __len__(self) -> int:
+        return len(self.ordered)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile (p in (0, 100])."""
+        if not self.ordered:
+            raise ValueError("percentile() of an empty sample")
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        return self.ordered[_rank(p, len(self.ordered)) - 1]
+
+    def percentiles(self, ps: Sequence[float]) -> Dict[float, float]:
+        """Several percentiles over the one shared sort."""
+        if not self.ordered:
+            raise ValueError("percentiles() of an empty sample")
+        return {p: self.percentile(p) for p in ps}
+
+    def tail_summary(self) -> Dict[float, float]:
+        """90/95/99/99.9th percentiles, the row format of Table 4."""
+        return self.percentiles(TAIL_PERCENTILES)
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """(value, cumulative_fraction) points of the empirical CDF."""
+        if not self.ordered:
+            return []
+        n = len(self.ordered)
+        points: List[Tuple[float, float]] = []
+        for i, v in enumerate(self.ordered, start=1):
+            if points and points[-1][0] == v:
+                points[-1] = (v, i / n)
+            else:
+                points.append((v, i / n))
+        return points
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples <= threshold (SLO attainment)."""
+        if not self.ordered:
+            raise ValueError("fraction_below() of an empty sample")
+        return bisect_right(self.ordered, threshold) / len(self.ordered)
+
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        if not self.ordered:
+            raise ValueError("mean() of an empty sample")
+        return sum(self.ordered) / len(self.ordered)
+
+
+def merge_sorted_samples(shards: Iterable[Sequence[float]]) -> List[float]:
+    """Merge already-sorted shards into one sorted list (linear time).
+
+    The result equals ``sorted(chain(*shards))`` whenever every shard is
+    itself sorted, so percentiles of the merge are byte-identical to
+    percentiles of the concatenation — the property the runner's
+    serial-vs-parallel determinism gate relies on.
+    """
+    return list(heapq.merge(*shards))
+
+
 def percentile(samples: Sequence[float], p: float) -> float:
     """Nearest-rank percentile of *samples* (p in (0, 100])."""
-    if not samples:
-        raise ValueError("percentile() of an empty sample")
-    if not 0 < p <= 100:
-        raise ValueError(f"percentile must be in (0, 100], got {p}")
-    ordered = sorted(samples)
-    return ordered[_rank(p, len(ordered)) - 1]
+    return SortedSamples(samples).percentile(p)
 
 
 def percentiles(samples: Sequence[float], ps: Sequence[float]) -> Dict[float, float]:
     """Several percentiles computed over one sort of *samples*."""
-    if not samples:
-        raise ValueError("percentiles() of an empty sample")
-    ordered = sorted(samples)
-    out = {}
-    for p in ps:
-        if not 0 < p <= 100:
-            raise ValueError(f"percentile must be in (0, 100], got {p}")
-        out[p] = ordered[_rank(p, len(ordered)) - 1]
-    return out
+    return SortedSamples(samples).percentiles(ps)
 
 
 #: The tail percentiles Table 4 reports.
@@ -46,7 +110,7 @@ TAIL_PERCENTILES = (90.0, 95.0, 99.0, 99.9)
 
 def tail_summary(samples: Sequence[float]) -> Dict[float, float]:
     """90/95/99/99.9th percentiles, the row format of Table 4."""
-    return percentiles(samples, TAIL_PERCENTILES)
+    return SortedSamples(samples).tail_summary()
 
 
 def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
@@ -56,24 +120,12 @@ def cdf_points(samples: Sequence[float]) -> List[Tuple[float, float]]:
     cumulative fraction, so the series is strictly increasing in x and
     non-decreasing in y — directly plottable as Figure 5's curves.
     """
-    if not samples:
-        return []
-    ordered = sorted(samples)
-    n = len(ordered)
-    points: List[Tuple[float, float]] = []
-    for i, v in enumerate(ordered, start=1):
-        if points and points[-1][0] == v:
-            points[-1] = (v, i / n)
-        else:
-            points.append((v, i / n))
-    return points
+    return SortedSamples(samples).cdf_points()
 
 
 def fraction_below(samples: Sequence[float], threshold: float) -> float:
     """Fraction of samples <= threshold (SLO attainment)."""
-    if not samples:
-        raise ValueError("fraction_below() of an empty sample")
-    return sum(1 for s in samples if s <= threshold) / len(samples)
+    return SortedSamples(samples).fraction_below(threshold)
 
 
 def mean(samples: Sequence[float]) -> float:

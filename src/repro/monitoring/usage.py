@@ -21,6 +21,7 @@ from ..guest.vcpu import VCPU
 from ..simcore.errors import ConfigurationError
 from ..simcore.events import PRIORITY_METRICS
 from ..simcore.time import SEC
+from ..telemetry import events as T
 
 
 @dataclass
@@ -44,8 +45,10 @@ class UsageMonitor:
     """Samples each RT VCPU's granted vs consumed CPU bandwidth.
 
     Attach to a running system; each window it compares the VCPU's
-    admitted bandwidth with the host scheduler's accounted occupancy
-    (collected through the machine's account() path).
+    admitted bandwidth with the host scheduler's accounted occupancy,
+    observed as :data:`~repro.telemetry.events.CPU_ACCOUNT` events on
+    the machine's telemetry bus (the machine publishes one per sync
+    point with exactly the elapsed time it charges the scheduler).
     """
 
     def __init__(self, system, window_ns: int = SEC) -> None:
@@ -56,29 +59,39 @@ class UsageMonitor:
         self.samples: Dict[int, List[UsageSample]] = {}  # vcpu uid -> samples
         self._consumed: Dict[int, int] = {}
         self._window_start = 0
-        self._original_account = None
+        self._unsubscribe = None
         self._started = False
 
     def start(self) -> "UsageMonitor":
-        """Begin monitoring (hooks the host scheduler's accounting)."""
+        """Begin monitoring (subscribes to CPU accounting telemetry)."""
         if self._started:
             return self
         self._started = True
-        scheduler = self.system.machine.host_scheduler
-        self._original_account = scheduler.account
-
-        def tapped(vcpu, pcpu_index, elapsed):
-            self._consumed[vcpu.uid] = self._consumed.get(vcpu.uid, 0) + elapsed
-            return self._original_account(vcpu, pcpu_index, elapsed)
-
-        scheduler.account = tapped
+        bus = self.system.machine.bus
+        self._unsubscribe = bus.subscribe(T.CPU_ACCOUNT, self._on_account)
         self._window_start = self.system.engine.now
         self.system.engine.after(
             self.window_ns, self._close_window, priority=PRIORITY_METRICS, name="usage-window"
         )
         return self
 
+    def stop(self) -> None:
+        """Detach from the bus and stop the window timer chain."""
+        if not self._started:
+            return
+        self._started = False
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def _on_account(self, event: T.CpuAccountEvent) -> None:
+        self._consumed[event.vcpu_uid] = (
+            self._consumed.get(event.vcpu_uid, 0) + event.elapsed
+        )
+
     def _close_window(self) -> None:
+        if not self._started:
+            return
         self.system.machine.sync_all()
         now = self.system.engine.now
         window = now - self._window_start

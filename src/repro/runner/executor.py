@@ -103,6 +103,24 @@ def _execute_misses(
     return results
 
 
+def execute_plan(
+    plan: ExperimentPlan,
+    jobs: int = 1,
+    echo: Optional[Callable[[str], None]] = None,
+) -> Any:
+    """Run one plan's units (uncached) and assemble its result.
+
+    The generic entry point for plans that live outside the experiment
+    registry (e.g. the telemetry probe): units fan out exactly like
+    registry experiments, and assembly consumes parts in canonical unit
+    order, so the result is independent of scheduling.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results = _execute_misses(list(plan.units), jobs, echo)
+    return plan.assemble([results[unit][0] for unit in plan.units])
+
+
 def run_experiments(
     ids: Optional[Sequence[str]] = None,
     jobs: int = 1,

@@ -117,11 +117,24 @@ def _rtxen_interface(vm_spec: Dict[str, Any], tasks: List[Task]):
     return iface.budget, iface.period
 
 
-def run_scenario(spec: Dict[str, Any], name: str = "scenario") -> ScenarioResult:
-    """Build and run the scenario described by *spec*."""
+def run_scenario(
+    spec: Dict[str, Any],
+    name: str = "scenario",
+    attach: Optional[Any] = None,
+) -> ScenarioResult:
+    """Build and run the scenario described by *spec*.
+
+    *attach*, when given, is called with the freshly built system before
+    any VM is created — the hook observers use to subscribe telemetry
+    consumers (streaming aggregators, the chrome-trace exporter) to
+    ``system.machine.bus`` so they see every event of the run, including
+    registration-time admission decisions.
+    """
     duration_ns = sec(spec.get("duration_s", 10))
     streams = RandomStreams(int(spec.get("seed", 0)))
     system = _build_system(spec)
+    if attach is not None:
+        attach(system)
     system_kind = spec.get("system", {}).get("type", "rtvirt")
     all_tasks: List[Task] = []
 
@@ -187,8 +200,12 @@ def run_scenario(spec: Dict[str, Any], name: str = "scenario") -> ScenarioResult
     )
 
 
-def run_scenario_file(path: str) -> ScenarioResult:
-    """Load a JSON scenario file and run it."""
+def run_scenario_file(path: str, attach=None) -> ScenarioResult:
+    """Load a JSON scenario file and run it.
+
+    *attach* is forwarded to :func:`run_scenario` — the hook the CLI
+    uses to subscribe telemetry consumers before the run starts.
+    """
     with open(path) as handle:
         spec = json.load(handle)
-    return run_scenario(spec, name=path)
+    return run_scenario(spec, name=path, attach=attach)

@@ -1,0 +1,31 @@
+"""Unified telemetry: typed events, the bus, and streaming aggregators.
+
+The package is intentionally leaf-like: :mod:`repro.simcore` and
+:mod:`repro.host` import it (every :class:`~repro.host.machine.Machine`
+owns a :class:`TelemetryBus`), so nothing here may import scheduler or
+experiment modules.  The probe work units live in
+:mod:`repro.telemetry.probe`, imported lazily by the runner for exactly
+that reason.
+"""
+
+from . import events
+from .aggregate import (
+    BandwidthAggregator,
+    LatencyAggregator,
+    MissRatioAggregator,
+    OnlineStats,
+    StandardTelemetry,
+    TailAggregator,
+)
+from .bus import TelemetryBus
+
+__all__ = [
+    "events",
+    "TelemetryBus",
+    "OnlineStats",
+    "TailAggregator",
+    "MissRatioAggregator",
+    "LatencyAggregator",
+    "BandwidthAggregator",
+    "StandardTelemetry",
+]

@@ -18,6 +18,15 @@ must equal the serial hash — the serial-vs-parallel equivalence gate:
     python tools/check_determinism.py --parallel 4
     python tools/check_determinism.py --check baseline.json --parallel 4
 
+With ``--streams N`` the telemetry probe (``repro.telemetry.probe``)
+runs its sharded plan twice — serially and across N workers — and each
+system's *merged streaming-aggregate snapshot* must hash identically:
+the gate that sharded telemetry streams merge byte-identically to a
+single stream.  ``--streams`` stands alone; it does not rerun the
+experiment registry:
+
+    python tools/check_determinism.py --streams 4
+
 Exit status is non-zero when any experiment's hash differs from the
 recorded baseline (or, with ``--check``, when an experiment appeared or
 disappeared), or when the parallel runner's merged output diverges from
@@ -116,6 +125,41 @@ def check_parallel(ids, serial_digests, jobs: int, seed=None) -> list:
     return failures
 
 
+def check_streams(jobs: int) -> list:
+    """Streamed-aggregates gate: sharded snapshots merge byte-identically.
+
+    Runs the telemetry probe plan in-process and again across *jobs*
+    worker processes; for every probed system the merged
+    :class:`~repro.telemetry.aggregate.StandardTelemetry` snapshot must
+    hash identically (exact tail mode makes the merge lossless, so any
+    divergence means the aggregate merge — or the engine — lost
+    determinism).
+    """
+    from repro.runner.executor import execute_plan
+    from repro.telemetry.probe import probe_plan
+
+    print(f"[determinism] telemetry-stream rerun with {jobs} job(s) ...", flush=True)
+    plan = probe_plan()
+    serial = execute_plan(plan, jobs=1)
+    parallel = execute_plan(plan, jobs=max(1, jobs))
+    failures = []
+    for system in sorted(serial.merged):
+        want = rows_hash(serial.merged[system])
+        got = rows_hash(parallel.merged.get(system))
+        verdict = "ok" if got == want else "DIVERGED"
+        print(
+            f"[determinism]   streams/{system}: parallel {got[:16]} "
+            f"vs serial {want[:16]}: {verdict}",
+            flush=True,
+        )
+        if got != want:
+            failures.append(
+                f"streams/{system}: parallel snapshot {got[:16]} "
+                f"!= serial {want[:16]}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=False)
@@ -141,10 +185,21 @@ def main(argv=None) -> int:
         help="RNG-seed override for seed-taking experiments (robustness "
         "family); applied to both the serial and the parallel pass",
     )
+    parser.add_argument(
+        "--streams",
+        type=int,
+        metavar="JOBS",
+        help="run the telemetry probe serially and with JOBS processes "
+        "and fail unless the merged streaming-aggregate snapshots hash "
+        "identically (does not rerun the experiment registry)",
+    )
     args = parser.parse_args(argv)
-    if not (args.record or args.check or args.parallel):
-        parser.error("one of --record, --check or --parallel is required")
+    if not (args.record or args.check or args.parallel or args.streams):
+        parser.error(
+            "one of --record, --check, --parallel or --streams is required"
+        )
 
+    run_registry = bool(args.record or args.check or args.parallel)
     if args.only:
         ids = registry.expand_ids(
             [i.strip() for i in args.only.split(",") if i.strip()]
@@ -152,18 +207,22 @@ def main(argv=None) -> int:
     else:
         ids = registry.all_ids()
     digests = {}
-    for experiment_id in ids:
-        print(f"[determinism] running {experiment_id} ...", flush=True)
-        digests[experiment_id] = experiment_digest(experiment_id, seed=args.seed)
-        print(
-            f"[determinism]   {experiment_id}: {digests[experiment_id]['sha256'][:16]} "
-            f"({digests[experiment_id]['wall_s']}s)",
-            flush=True,
-        )
+    if run_registry:
+        for experiment_id in ids:
+            print(f"[determinism] running {experiment_id} ...", flush=True)
+            digests[experiment_id] = experiment_digest(experiment_id, seed=args.seed)
+            print(
+                f"[determinism]   {experiment_id}: "
+                f"{digests[experiment_id]['sha256'][:16]} "
+                f"({digests[experiment_id]['wall_s']}s)",
+                flush=True,
+            )
 
     failures = []
     if args.parallel:
         failures.extend(check_parallel(ids, digests, args.parallel, seed=args.seed))
+    if args.streams:
+        failures.extend(check_streams(args.streams))
 
     if args.record:
         with open(args.record, "w") as fh:
@@ -193,8 +252,11 @@ def main(argv=None) -> int:
         checks.append("baseline")
     if args.parallel:
         checks.append("serial-vs-parallel")
+    if args.streams:
+        checks.append("streamed-aggregates")
     suffix = f" ({' + '.join(checks)})" if checks else ""
-    print(f"[determinism] OK — {len(ids)} experiments byte-identical{suffix}")
+    subject = f"{len(ids)} experiments" if run_registry else "telemetry streams"
+    print(f"[determinism] OK — {subject} byte-identical{suffix}")
     return 0
 
 

@@ -14,6 +14,11 @@ longer than the committed ``BENCH_registry.json``):
     python tools/check_perf.py --tolerance 0.1       # stricter engine gate
     python tools/check_perf.py --repeat 3            # damp wall noise
 
+The engine record doubles as the telemetry-overhead gate: the benchmark
+subscribes nothing to the telemetry bus, so its throughput must also
+stay within ``--telemetry-tolerance`` (default 5%) of the baseline,
+bounding the cost of the instrumentation's zero-subscriber fast path.
+
 The engine benchmark compares best-of-``--repeat`` fresh runs so a
 loaded machine does not trip the gate spuriously; raise ``--repeat``
 (or the tolerances) on noisy hardware.  Exit status: 0 on pass, 1 on
@@ -52,7 +57,18 @@ def run_tier1_tests() -> bool:
     return proc.returncode == 0
 
 
-def check_throughput(tolerance: float, repeat: int) -> int:
+def check_throughput(
+    tolerance: float, repeat: int, telemetry_tolerance: float = 0.0
+) -> int:
+    """Engine gate, plus (optionally) the telemetry-overhead gate.
+
+    The benchmark never subscribes anything to the telemetry bus, so a
+    fresh run measures exactly the zero-subscriber fast path: every
+    hot-path emission site reduces to one cached boolean test.  With
+    *telemetry_tolerance* > 0 the same best-of-*repeat* record must also
+    stay within that (tighter) fraction of the committed baseline,
+    bounding what the instrumentation costs when nobody is listening.
+    """
     if not os.path.exists(BASELINE):
         print(f"check_perf: no committed baseline at {BASELINE}")
         print("check_perf: run benchmarks/bench_engine_throughput.py to create one")
@@ -76,6 +92,16 @@ def check_throughput(tolerance: float, repeat: int) -> int:
         f"check_perf: {fresh:.1f} events/sec vs baseline {reference:.1f} "
         f"(floor {floor:.1f}, tolerance {tolerance:.0%}): {verdict}"
     )
+    failed = fresh < floor
+    if telemetry_tolerance > 0:
+        telemetry_floor = reference * (1.0 - telemetry_tolerance)
+        telemetry_verdict = "ok" if fresh >= telemetry_floor else "REGRESSION"
+        print(
+            f"check_perf: zero-subscriber telemetry gate: {fresh:.1f} vs "
+            f"floor {telemetry_floor:.1f} "
+            f"(tolerance {telemetry_tolerance:.0%}): {telemetry_verdict}"
+        )
+        failed = failed or fresh < telemetry_floor
     if best.get("events") != baseline.get("events"):
         # Not fatal by itself, but a changed event count means behaviour
         # moved, so the events/sec comparison is no longer like-for-like.
@@ -84,7 +110,7 @@ def check_throughput(tolerance: float, repeat: int) -> int:
             f"({baseline.get('events')} -> {best.get('events')}); "
             "re-record BENCH_engine.json if the change is intended"
         )
-    return 0 if fresh >= floor else 2
+    return 2 if failed else 0
 
 
 def check_registry_wall(tolerance: float, jobs: int = 0) -> int:
@@ -126,6 +152,11 @@ def main(argv=None) -> int:
         help="allowed fractional registry wall-time regression (default 0.15)",
     )
     parser.add_argument(
+        "--telemetry-tolerance", type=float, default=0.05,
+        help="allowed zero-subscriber telemetry overhead on engine "
+        "throughput (default 0.05; 0 disables the gate)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=3,
         help="benchmark runs; the best one is compared (default 3)",
     )
@@ -148,7 +179,9 @@ def main(argv=None) -> int:
         if not run_tier1_tests():
             print("check_perf: tier-1 tests failed")
             return 1
-    status = check_throughput(args.tolerance, args.repeat)
+    status = check_throughput(
+        args.tolerance, args.repeat, telemetry_tolerance=args.telemetry_tolerance
+    )
     if status:
         return status
     if args.skip_registry:
