@@ -6,6 +6,8 @@
     python -m repro run all              # the whole evaluation, serially
     python -m repro run-all --jobs 4     # the whole evaluation, in parallel
     python -m repro run-all --only fig3,table1 --no-cache
+    python -m repro explain robustness_pcpu_fail        # why did jobs miss?
+    python -m repro explain robustness_pcpu_fail --job vm2.rta1#15
 """
 
 from __future__ import annotations
@@ -31,6 +33,12 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="ID",
         help="experiment ids from `repro list`, or 'all'",
+    )
+    run.add_argument(
+        "--blame",
+        action="store_true",
+        help="after each robustness_* experiment, rerun it with causal "
+        "spans attached and print the deadline-miss blame table",
     )
     run_all = sub.add_parser(
         "run-all",
@@ -93,6 +101,62 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream a chrome://tracing timeline of the run to PATH "
         "(.json), without retaining a full trace in memory",
     )
+    scenario.add_argument(
+        "--blame",
+        action="store_true",
+        help="build causal job spans during the run and print the "
+        "deadline-miss blame table",
+    )
+    scenario.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="self-profile the simulator (per-event-kind handler time, "
+        "per-phase engine time) and write the snapshot to PATH (.json)",
+    )
+    explain = sub.add_parser(
+        "explain",
+        help="attribute deadline misses to root causes via causal spans",
+    )
+    explain.add_argument(
+        "target",
+        help="a robustness_<fault> experiment id or a scenario JSON path",
+    )
+    explain.add_argument(
+        "--job",
+        metavar="TASK[#N]",
+        help="render the causal timeline of one job (e.g. vm2.rta1#15); "
+        "a bare task name shows its missed jobs",
+    )
+    explain.add_argument(
+        "--scheduler",
+        default="RTVirt",
+        help="scheduler for --job timelines (default RTVirt)",
+    )
+    explain.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the blame sweep (default 1)",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=11, metavar="N", help="RNG seed (default 11)"
+    )
+    explain.add_argument(
+        "--duration-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="simulated seconds per cell (default 5, the robustness length)",
+    )
+    explain.add_argument(
+        "--misses",
+        type=int,
+        default=5,
+        metavar="N",
+        help="worst misses listed per scheduler (default 5)",
+    )
     return parser
 
 
@@ -104,7 +168,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(ids: List[str]) -> int:
+def _cmd_run(ids: List[str], blame: bool = False) -> int:
     if ids == ["all"]:
         ids = registry.all_ids()
     else:
@@ -120,8 +184,30 @@ def _cmd_run(ids: List[str]) -> int:
         started = time.time()
         result = entry.runner()
         print(result.summary())
+        if blame and experiment_id.startswith("robustness_"):
+            sweep = _blame_family(experiment_id[len("robustness_"):], jobs=1)
+            print(sweep.summary())
         print(f"--- ({time.time() - started:.1f}s wall)\n")
     return 0
+
+
+def _blame_family(
+    fault: str,
+    jobs: int,
+    duration_ns: Optional[int] = None,
+    seed: int = 11,
+):
+    """Run the blame sweep of one fault family through the plan executor."""
+    from .runner.executor import execute_plan
+    from .simcore.time import sec
+    from .telemetry.blame import blame_plan
+
+    plan = blame_plan(
+        faults=(fault,),
+        duration_ns=duration_ns if duration_ns is not None else sec(5),
+        seed=seed,
+    )
+    return execute_plan(plan, jobs=jobs)
 
 
 def _cmd_run_all(args) -> int:
@@ -193,8 +279,18 @@ def _cmd_scenario(args) -> int:
             from .report.export import ChromeTraceExporter
 
             holder["exporter"] = ChromeTraceExporter().attach(bus)
+        if args.blame:
+            from .telemetry.spans import SpanBuilder
 
-    wants_bus = args.telemetry or args.chrome_trace
+            holder["spans"] = SpanBuilder().attach(system.machine)
+        if args.profile:
+            from .telemetry.profile import SimProfiler
+
+            holder["profiler"] = SimProfiler().install(
+                engine=system.engine, bus=bus
+            )
+
+    wants_bus = args.telemetry or args.chrome_trace or args.blame or args.profile
     result = run_scenario_file(args.path, attach=attach if wants_bus else None)
     print(result.summary())
     telemetry = holder.get("telemetry")
@@ -223,6 +319,140 @@ def _cmd_scenario(args) -> int:
     if exporter is not None:
         count = exporter.write(args.chrome_trace)
         print(f"chrome trace: {count} events -> {args.chrome_trace}")
+    spans = holder.get("spans")
+    if spans is not None:
+        from .report.ascii import render_blame_table
+        from .telemetry.blame import analyze_spans
+
+        spans.finalize(result.duration_ns)
+        report, _misses = analyze_spans(spans)
+        print(render_blame_table(report.snapshot()))
+    profiler = holder.get("profiler")
+    if profiler is not None:
+        profiler.uninstall()
+        from .report.export import export_profile
+
+        export_profile(profiler, args.profile)
+        print(profiler.summary())
+        print(f"profile: -> {args.profile}")
+    return 0
+
+
+def _parse_job(spec: str):
+    """``vm2.rta1#15`` -> (task, 15); ``vm2.rta1`` -> (task, None)."""
+    task, _, index = spec.partition("#")
+    return task, int(index) if index else None
+
+
+def _print_timelines(builder, job_spec: str, limit: int) -> int:
+    from .report.ascii import render_span_timeline
+    from .telemetry.blame import attribute_miss
+
+    task, index = _parse_job(job_spec)
+    spans = builder.spans_for(task)
+    if index is not None:
+        spans = [s for s in spans if s.job == index]
+    elif any(s.missed for s in spans):
+        spans = [s for s in spans if s.missed][:limit]
+    else:
+        spans = spans[:limit]
+    if not spans:
+        print(f"no spans for {job_spec!r}", file=sys.stderr)
+        return 2
+    for span in spans:
+        lost = attribute_miss(span, builder) if span.missed else None
+        print(render_span_timeline(span, lost))
+        print()
+    return 0
+
+
+def _explain_scenario(args) -> int:
+    from .report.ascii import render_blame_table
+    from .scenario import run_scenario_file
+    from .telemetry.blame import analyze_spans
+    from .telemetry.spans import SpanBuilder
+
+    holder = {}
+
+    def attach(system) -> None:
+        holder["spans"] = SpanBuilder().attach(system.machine)
+
+    result = run_scenario_file(args.target, attach=attach)
+    builder = holder["spans"].finalize(result.duration_ns)
+    report, misses = analyze_spans(builder)
+    print(result.summary())
+    print(render_blame_table(report.snapshot()))
+    if args.job:
+        print()
+        return _print_timelines(builder, args.job, args.misses)
+    worst = sorted(misses, key=lambda m: -m["lateness_ns"])[: args.misses]
+    if worst:
+        print("worst misses:")
+        for m in worst:
+            print(
+                f"  {m['task']}#{m['job']} +{m['lateness_ns'] / 1e6:.3f}ms "
+                f"primary={m['primary']}"
+            )
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    if args.target.endswith(".json"):
+        return _explain_scenario(args)
+    from .experiments.robustness import ROBUSTNESS_FAULTS
+    from .simcore.time import sec
+
+    fault = args.target
+    if fault.startswith("robustness_"):
+        fault = fault[len("robustness_"):]
+    if fault not in ROBUSTNESS_FAULTS:
+        known = ", ".join(f"robustness_{f}" for f in ROBUSTNESS_FAULTS)
+        print(
+            f"unknown target {args.target!r}; pick a scenario .json or one "
+            f"of: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    duration_ns = sec(args.duration_s)
+    if args.job:
+        from .experiments.robustness import run_robustness_case
+        from .telemetry.spans import SpanBuilder
+
+        holder = {}
+
+        def attach(system) -> None:
+            holder["spans"] = SpanBuilder().attach(system.machine)
+
+        run_robustness_case(
+            fault,
+            args.scheduler,
+            duration_ns,
+            args.seed,
+            check_invariants=False,
+            attach=attach,
+        )
+        builder = holder["spans"].finalize()
+        print(
+            f"robustness_{fault} under {args.scheduler} "
+            f"({args.duration_s:g}s, seed {args.seed}):\n"
+        )
+        return _print_timelines(builder, args.job, args.misses)
+    sweep = _blame_family(
+        fault, jobs=args.jobs, duration_ns=duration_ns, seed=args.seed
+    )
+    print(sweep.summary())
+    for part in sweep.parts:
+        worst = sorted(part["misses"], key=lambda m: -m["lateness_ns"])
+        worst = worst[: args.misses]
+        if not worst:
+            continue
+        print(f"\nworst misses — {part['scheduler']}:")
+        for m in worst:
+            state = " (unfinished)" if m["incomplete"] else ""
+            print(
+                f"  {m['task']}#{m['job']} +{m['lateness_ns'] / 1e6:.3f}ms "
+                f"primary={m['primary']}{state}"
+            )
     return 0
 
 
@@ -235,7 +465,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_all(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
-    return _cmd_run(args.ids)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    return _cmd_run(args.ids, blame=args.blame)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

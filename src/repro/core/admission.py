@@ -161,5 +161,9 @@ class UtilizationAdmission:
             self._granted[uid] = Fraction(0)
             total -= bw
             revoked.append(uid)
-            self._emit("shed", self._names.get(uid, str(uid)), False, "revoked")
+            # The revoked bandwidth rides in the detail so blame/debug
+            # consumers can see how much was taken without a grant table.
+            self._emit(
+                "shed", self._names.get(uid, str(uid)), False, f"revoked {bw}"
+            )
         return revoked

@@ -87,14 +87,22 @@ class RTVirtHypercall(CrossLayerPort):
             vcpu.set_params(budget_ns, period_ns)
             self.scheduler.update_vcpu(vcpu)
 
-    def _deliver(self, updates: List[ParamUpdate]) -> bool:
+    def _apply_late(self, updates: List[ParamUpdate], flag: SchedRTVirtFlag) -> None:
+        """A deferred application landing: install, then mark the event
+        stream so span consumers can see *when* the parameters finally
+        took effect (the ``delayed`` event marks when they should have)."""
+        self._apply(updates)
+        self._emit(updates, "applied_late", flag)
+
+    def _deliver(self, updates: List[ParamUpdate], flag: SchedRTVirtFlag) -> bool:
         """Apply now, or schedule the delayed application.  Returns True
         when the effect was deferred."""
         now = self.machine.engine.now
         if now < self._delay_until and self._delay_ns > 0:
             self.delayed += 1
             self.machine.engine.after(
-                self._delay_ns, self._apply, updates, name="hypercall-delayed"
+                self._delay_ns, self._apply_late, updates, flag,
+                name="hypercall-delayed",
             )
             return True
         self._apply(updates)
@@ -117,7 +125,7 @@ class RTVirtHypercall(CrossLayerPort):
             self.log.append((flag, False))
             self._emit(updates, "rejected", flag)
             return False
-        deferred = self._deliver(updates)
+        deferred = self._deliver(updates, flag)
         self.log.append((flag, True))
         self._emit(updates, "delayed" if deferred else "granted", flag)
         return True
@@ -132,7 +140,7 @@ class RTVirtHypercall(CrossLayerPort):
             self._emit(updates, "dropped", SchedRTVirtFlag.DEC_BW)
             return
         self.admission.commit_decrease(updates)
-        deferred = self._deliver(updates)
+        deferred = self._deliver(updates, SchedRTVirtFlag.DEC_BW)
         self.log.append((SchedRTVirtFlag.DEC_BW, True))
         self._emit(
             updates, "delayed" if deferred else "applied", SchedRTVirtFlag.DEC_BW

@@ -154,10 +154,18 @@ def run_robustness_case(
     duration_ns: int,
     seed: int,
     check_invariants: bool = True,
+    attach=None,
 ) -> Dict[str, object]:
-    """One (fault family, scheduler) cell — the parallel-runner shard."""
+    """One (fault family, scheduler) cell — the parallel-runner shard.
+
+    *attach*, when given, is called with the built system before the
+    fault timeline is installed — the hook observability consumers
+    (span builders, extra aggregators) use to subscribe to the bus.
+    """
     system = build_system(scheduler)
     checker = InvariantChecker(system).attach() if check_invariants else None
+    if attach is not None:
+        attach(system)
     ctx = build_scenario(fault, duration_ns).install(
         system, RandomStreams(seed)
     )

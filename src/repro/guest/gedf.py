@@ -26,6 +26,9 @@ class GEDFGuestScheduler(PEDFGuestScheduler):
     """pEDF admission/placement with global (migrating) EDF dispatch."""
 
     name = "gEDF"
+    #: Released jobs enter the VM-wide pool: any sibling VCPU may claim
+    #: them, so span consumers see ``scope == "global"`` enqueues.
+    enqueue_scope = "global"
 
     def __init__(self, vm, slack_ns: int = 0) -> None:
         super().__init__(vm, slack_ns)

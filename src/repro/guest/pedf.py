@@ -34,12 +34,81 @@ class PEDFGuestScheduler:
     """Partitioned EDF over the VM's VCPUs with cross-layer admission."""
 
     name = "pEDF"
+    #: How released jobs queue for dispatch: pEDF keeps one local queue
+    #: per VCPU (jobs never migrate); gEDF overrides with ``"global"``.
+    enqueue_scope = "local"
 
     def __init__(self, vm, slack_ns: int = 0) -> None:
         if slack_ns < 0:
             raise ConfigurationError(f"negative slack {slack_ns}")
         self.vm = vm
         self.slack_ns = slack_ns
+        #: Cached interest flag for the release-path events, refreshed
+        #: by the bus watcher installed in :meth:`bind_telemetry` (the
+        #: same zero-subscriber guard every other producer site uses).
+        self._t_release = False
+        self._unwatch = None
+
+    # -- telemetry wiring ----------------------------------------------------
+
+    def bind_telemetry(self, bus) -> None:
+        """Watch *bus* so the release hot path pays one attribute test.
+
+        Called when the VM attaches to a machine; churn-booted VMs bind
+        here too, so a consumer subscribed before the boot still sees
+        their release events.
+        """
+        self.unbind_telemetry()
+        self._unwatch = bus.watch(self._on_telemetry_change)
+
+    def unbind_telemetry(self) -> None:
+        if self._unwatch is not None:
+            self._unwatch()
+            self._unwatch = None
+        self._t_release = False
+
+    def _on_telemetry_change(self, bus) -> None:
+        has = bus.has_subscribers
+        self._t_release = has(T.JOB_RELEASE) or has(T.ENQUEUE)
+
+    def on_job_released(self, task: Task, job: Job, now: int) -> None:
+        """Announce a released job (span producers; zero cost unwatched).
+
+        Background jobs carry no deadline and are not announced — spans
+        trace timeliness, and background work has none.
+        """
+        if not self._t_release or job.deadline is None:
+            return
+        machine = self.vm.machine
+        if machine is None:
+            return
+        bus = machine.bus
+        vcpu_name = task.vcpu.name if task.vcpu is not None else None
+        if bus.has_subscribers(T.JOB_RELEASE):
+            bus.publish(
+                T.JOB_RELEASE,
+                T.JobReleaseEvent(
+                    now,
+                    self.vm.name,
+                    vcpu_name,
+                    task.name,
+                    job.index,
+                    job.release,
+                    job.deadline,
+                ),
+            )
+        if bus.has_subscribers(T.ENQUEUE):
+            bus.publish(
+                T.ENQUEUE,
+                T.EnqueueEvent(
+                    now,
+                    self.vm.name,
+                    vcpu_name,
+                    task.name,
+                    job.index,
+                    self.enqueue_scope,
+                ),
+            )
 
     # -- placement helpers ---------------------------------------------------
 

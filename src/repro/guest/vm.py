@@ -150,6 +150,9 @@ class VM:
                 raise ConfigurationError("release_job() needs `now` before attach")
             now = self.machine.engine.now
         job = task.release_job(now, work, relative_deadline, on_complete)
+        # Announce before the wake: span consumers must see the release
+        # ahead of any scheduling activity it triggers at this instant.
+        self.guest_scheduler.on_job_released(task, job, now)
         if self.machine is not None:
             for vcpu in self.wake_targets(task):
                 self.machine.notify_wake(vcpu)

@@ -195,16 +195,12 @@ class EDFHostScheduler(HostScheduler):
     def _exhaust(self, server: _Server) -> None:
         server.exhaust_event = None
         self._exhaust_armed.pop(server.vcpu.uid, None)
-        # account() on the occupied PCPU drains the budget exactly.
+        # account() on the occupied PCPU drains the budget exactly (and
+        # publishes the BUDGET_DEPLETE event at the crossing).
         self.machine.sync_running(server.vcpu)
         if server.remaining > 0:  # raced with a preemption; timer is stale
             return
         self._mutations += 1
-        if self._t_budget:
-            self.machine.bus.publish(
-                T.BUDGET_DEPLETE,
-                T.BudgetDepleteEvent(self.engine.now, server.vcpu.name, 0),
-            )
         self._request_reschedule()
 
     def account(self, vcpu: VCPU, pcpu_index: int, elapsed: int) -> None:
@@ -213,6 +209,16 @@ class EDFHostScheduler(HostScheduler):
             server.remaining = max(0, server.remaining - elapsed)
             if server.remaining == 0:
                 del self._ready[vcpu.uid]
+                # Publish at the drain crossing itself, not in the
+                # exhaust timer: a preemption-race drain (the timer sees
+                # ``remaining > 0`` stale and bails) previously emitted
+                # nothing, leaving depletion windows open-ended for
+                # span/blame consumers.
+                if self._t_budget:
+                    self.machine.bus.publish(
+                        T.BUDGET_DEPLETE,
+                        T.BudgetDepleteEvent(self.engine.now, vcpu.name, 0),
+                    )
 
     # -- notifications ------------------------------------------------------------------
 

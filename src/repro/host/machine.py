@@ -154,6 +154,7 @@ class Machine:
             raise ConfigurationError(f"VM {vm.name} is already attached")
         vm.machine = self
         self.vms.append(vm)
+        vm.guest_scheduler.bind_telemetry(self.bus)
         if vm._is_gedf:
             self._has_gedf_vm = True
 
@@ -422,6 +423,7 @@ class Machine:
             raise ConfigurationError(f"VM {vm.name} is not attached to this machine")
         vm.machine = None
         self.vms.remove(vm)
+        vm.guest_scheduler.unbind_telemetry()
         self._has_gedf_vm = any(v._is_gedf for v in self.vms)
 
     # -- notifications --------------------------------------------------------------------

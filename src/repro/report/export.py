@@ -244,3 +244,18 @@ class ChromeTraceExporter:
         with open(path, "w") as handle:
             json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
         return len(events)
+
+
+def export_profile(profiler, path: str) -> dict:
+    """Write a :class:`~repro.telemetry.profile.SimProfiler` snapshot.
+
+    Plain sorted JSON (per-event-kind handler counts/wall-time and
+    per-phase engine time) — the self-profiler's export path; returns
+    the snapshot that was written.
+    """
+    if not path.endswith(".json"):
+        raise ConfigurationError("profile exports are .json files")
+    snapshot = profiler.snapshot()
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+    return snapshot

@@ -12,6 +12,7 @@ the host scheduler re-evaluate after every batch of same-instant events).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from .errors import SimulationError
@@ -28,6 +29,7 @@ class Engine:
         "_in_batch",
         "_post_hooks",
         "_events_processed",
+        "_profile",
     )
 
     def __init__(self) -> None:
@@ -37,6 +39,19 @@ class Engine:
         self._in_batch = False
         self._post_hooks: List[Callable[[], None]] = []
         self._events_processed = 0
+        #: Optional self-profiler (see :mod:`repro.telemetry.profile`).
+        #: When unset the batch loop is the original untimed hot path.
+        self._profile = None
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or with ``None`` remove) an event-phase profiler.
+
+        While installed, every executed event reports ``(name, wall
+        seconds)`` through the profiler's ``record_phase``; phases are
+        derived from the event-name prefix before the first ``":"``
+        (``"replenish:vm1.vcpu0"`` profiles as phase ``"replenish"``).
+        """
+        self._profile = profiler
 
     @property
     def now(self) -> int:
@@ -156,14 +171,26 @@ class Engine:
         # the same hook list is reused across every batch of the run.
         pop_at = self._queue.pop_at
         processed = 0
+        profile = self._profile
         self._in_batch = True
         try:
-            while True:
-                event = pop_at(time)
-                if event is None:
-                    break
-                processed += 1
-                event.callback(*event.args)
+            if profile is None:
+                while True:
+                    event = pop_at(time)
+                    if event is None:
+                        break
+                    processed += 1
+                    event.callback(*event.args)
+            else:
+                record_phase = profile.record_phase
+                while True:
+                    event = pop_at(time)
+                    if event is None:
+                        break
+                    processed += 1
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    record_phase(event.name, perf_counter() - started)
         finally:
             self._in_batch = False
         self._events_processed += processed

@@ -1,11 +1,13 @@
-"""Unified telemetry: typed events, the bus, and streaming aggregators.
+"""Unified telemetry: typed events, the bus, streaming aggregators,
+causal spans, miss blame, and the simulator self-profiler.
 
 The package is intentionally leaf-like: :mod:`repro.simcore` and
 :mod:`repro.host` import it (every :class:`~repro.host.machine.Machine`
 owns a :class:`TelemetryBus`), so nothing here may import scheduler or
-experiment modules.  The probe work units live in
-:mod:`repro.telemetry.probe`, imported lazily by the runner for exactly
-that reason.
+experiment modules.  The probe and blame work units live in
+:mod:`repro.telemetry.probe` / :mod:`repro.telemetry.blame` — their
+plan halves pull in the scenario and runner layers lazily for exactly
+that reason (the blame *analysis* classes re-exported here are pure).
 """
 
 from . import events
@@ -17,7 +19,10 @@ from .aggregate import (
     StandardTelemetry,
     TailAggregator,
 )
+from .blame import CAUSES, BlameReport, analyze_spans, attribute_miss
 from .bus import TelemetryBus
+from .profile import SimProfiler, profile_scope
+from .spans import Span, SpanBuilder
 
 __all__ = [
     "events",
@@ -28,4 +33,12 @@ __all__ = [
     "LatencyAggregator",
     "BandwidthAggregator",
     "StandardTelemetry",
+    "Span",
+    "SpanBuilder",
+    "BlameReport",
+    "CAUSES",
+    "analyze_spans",
+    "attribute_miss",
+    "SimProfiler",
+    "profile_scope",
 ]

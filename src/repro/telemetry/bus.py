@@ -22,7 +22,8 @@ it, so consumers should only record.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
 
 Handler = Callable[[Any], None]
 WatchCallback = Callable[["TelemetryBus"], None]
@@ -31,11 +32,15 @@ WatchCallback = Callable[["TelemetryBus"], None]
 class TelemetryBus:
     """Per-kind synchronous pub/sub for telemetry events."""
 
-    __slots__ = ("_subscribers", "_watchers")
+    __slots__ = ("_subscribers", "_watchers", "_profile")
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Handler]] = {}
         self._watchers: List[WatchCallback] = []
+        #: Optional self-profiler (see :mod:`repro.telemetry.profile`).
+        #: Checked only after the zero-subscriber early return, so the
+        #: fast path is untouched while nothing subscribes.
+        self._profile = None
 
     # -- subscription -----------------------------------------------------------------
 
@@ -118,5 +123,27 @@ class TelemetryBus:
         handlers = self._subscribers.get(kind)
         if handlers is None:
             return
+        profile = self._profile
+        if profile is None:
+            for handler in list(handlers):
+                handler(event)
+            return
+        started = perf_counter()
+        delivered = 0
         for handler in list(handlers):
             handler(event)
+            delivered += 1
+        profile.record_event(kind, delivered, perf_counter() - started)
+
+    # -- self-profiling ---------------------------------------------------------------
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or with ``None`` remove) a delivery profiler.
+
+        While installed, every :meth:`publish` that reaches at least one
+        handler reports ``(kind, deliveries, wall seconds)`` through the
+        profiler's ``record_event``.  The zero-subscriber path never
+        touches the profiler, so the instrumented-but-idle cost stays
+        one attribute test.
+        """
+        self._profile = profiler

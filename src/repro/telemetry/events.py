@@ -21,6 +21,8 @@ from typing import NamedTuple, Optional, Tuple
 
 # -- kind constants (bus routing keys) ------------------------------------------------
 
+JOB_RELEASE = "job_release"
+ENQUEUE = "enqueue"
 CONTEXT_SWITCH = "context_switch"
 MIGRATION = "migration"
 SEGMENT_END = "segment_end"
@@ -40,6 +42,8 @@ VCPU_PARAMS = "vcpu_params"
 #: Every routing key, in a stable order (useful for subscribe-to-all
 #: consumers and for documentation).
 ALL_KINDS: Tuple[str, ...] = (
+    JOB_RELEASE,
+    ENQUEUE,
     CONTEXT_SWITCH,
     MIGRATION,
     SEGMENT_END,
@@ -59,6 +63,40 @@ ALL_KINDS: Tuple[str, ...] = (
 
 
 # -- event records --------------------------------------------------------------------
+
+
+class JobReleaseEvent(NamedTuple):
+    """A deadline-bearing job was released by a workload driver.
+
+    The first event of every per-job causal span: it carries the
+    absolute release time and deadline so consumers never need to
+    reconstruct them from the completion-side events.  Background jobs
+    (no deadline) are not announced.
+    """
+
+    time: int
+    vm: str
+    vcpu: Optional[str]  # the task's pinned VCPU at release time
+    task: str
+    job: int
+    release: int
+    deadline: int
+
+
+class EnqueueEvent(NamedTuple):
+    """A released job entered a guest run queue and now awaits dispatch.
+
+    ``scope`` distinguishes the pEDF per-VCPU local queue (``"local"``)
+    from the gEDF VM-wide pool (``"global"``), where any sibling VCPU
+    may claim the job.
+    """
+
+    time: int
+    vm: str
+    vcpu: Optional[str]
+    task: str
+    job: int
+    scope: str  # "local" | "global"
 
 
 class ContextSwitchEvent(NamedTuple):

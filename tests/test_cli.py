@@ -79,3 +79,53 @@ class TestRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExplain:
+    def test_unknown_target_lists_known_faults(self, capsys):
+        assert main(["explain", "robustness_nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown target" in err
+        assert "robustness_pcpu_fail" in err
+
+    def test_sweep_prints_blame_table_and_worst_misses(self, capsys):
+        rc = main(
+            ["explain", "robustness_pcpu_fail", "--duration-s", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "deadline-miss blame" in out
+        assert "worst misses" in out
+        assert "primary=" in out
+
+    def test_job_flag_renders_causal_timeline(self, capsys):
+        rc = main(
+            [
+                "explain",
+                "robustness_pcpu_fail",
+                "--job",
+                "vm2.rta1",
+                "--scheduler",
+                "RT-Xen",
+                "--duration-s",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vm2.rta1" in out
+        assert "release" in out and "run " in out
+
+    def test_job_without_spans_fails(self, capsys):
+        rc = main(
+            [
+                "explain",
+                "robustness_pcpu_fail",
+                "--job",
+                "vm9.none",
+                "--duration-s",
+                "0.5",
+            ]
+        )
+        assert rc == 2
+        assert "no spans" in capsys.readouterr().err

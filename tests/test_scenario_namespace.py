@@ -44,6 +44,20 @@ def test_old_module_path_warns_but_still_exports():
     assert shim.Scenario is timeline.Scenario
 
 
+def test_old_module_path_warns_exactly_once():
+    # One warning at import; re-importing the cached module is silent.
+    sys.modules.pop("repro.faults.scenario", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module("repro.faults.scenario")
+        importlib.import_module("repro.faults.scenario")
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro.faults.timeline" in str(deprecations[0].message)
+
+
 def test_new_module_path_does_not_warn():
     sys.modules.pop("repro.faults.timeline", None)
     with warnings.catch_warnings():

@@ -27,6 +27,14 @@ experiment registry:
 
     python tools/check_determinism.py --streams 4
 
+With ``--blame N`` the span/blame sweep (``repro.telemetry.blame``)
+runs a fixed two-family robustness sharding twice — serially and across
+N workers — and the merged blame report plus every per-cell snapshot
+must hash identically: the gate that miss attribution is independent of
+how the work units were scheduled.  Like ``--streams`` it stands alone:
+
+    python tools/check_determinism.py --blame 4
+
 Exit status is non-zero when any experiment's hash differs from the
 recorded baseline (or, with ``--check``, when an experiment appeared or
 disappeared), or when the parallel runner's merged output diverges from
@@ -160,6 +168,55 @@ def check_streams(jobs: int) -> list:
     return failures
 
 
+def check_blame(jobs: int, seed=None) -> list:
+    """Blame-report gate: sharded miss attribution merges byte-identically.
+
+    Runs a fixed blame sweep (two fault families, every scheduler, 1
+    simulated second, fixed seed) in-process and again across *jobs*
+    worker processes; the merged :class:`~repro.telemetry.blame.BlameReport`
+    snapshot and each cell's own snapshot must hash identically.
+    """
+    from repro.runner.executor import execute_plan
+    from repro.simcore.time import sec
+    from repro.telemetry.blame import blame_plan
+
+    print(f"[determinism] blame-sweep rerun with {jobs} job(s) ...", flush=True)
+    plan = blame_plan(
+        faults=("pcpu_fail", "hypercall"),
+        duration_ns=sec(1),
+        seed=seed if seed is not None else 11,
+    )
+    serial = execute_plan(plan, jobs=1)
+    parallel = execute_plan(plan, jobs=max(1, jobs))
+    failures = []
+    want = rows_hash(serial.merged.snapshot())
+    got = rows_hash(parallel.merged.snapshot())
+    verdict = "ok" if got == want else "DIVERGED"
+    print(
+        f"[determinism]   blame/merged: parallel {got[:16]} "
+        f"vs serial {want[:16]}: {verdict}",
+        flush=True,
+    )
+    if got != want:
+        failures.append(
+            f"blame/merged: parallel report {got[:16]} != serial {want[:16]}"
+        )
+    for serial_part, parallel_part in zip(serial.parts, parallel.parts):
+        cell = f"{serial_part['fault']}/{serial_part['scheduler']}"
+        want = rows_hash(serial_part)
+        got = rows_hash(parallel_part)
+        if got != want:
+            print(
+                f"[determinism]   blame/{cell}: parallel {got[:16]} "
+                f"vs serial {want[:16]}: DIVERGED",
+                flush=True,
+            )
+            failures.append(
+                f"blame/{cell}: parallel shard {got[:16]} != serial {want[:16]}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=False)
@@ -193,10 +250,21 @@ def main(argv=None) -> int:
         "and fail unless the merged streaming-aggregate snapshots hash "
         "identically (does not rerun the experiment registry)",
     )
+    parser.add_argument(
+        "--blame",
+        type=int,
+        metavar="JOBS",
+        help="run the span/blame sweep serially and with JOBS processes "
+        "and fail unless the merged blame reports hash identically "
+        "(does not rerun the experiment registry)",
+    )
     args = parser.parse_args(argv)
-    if not (args.record or args.check or args.parallel or args.streams):
+    if not (
+        args.record or args.check or args.parallel or args.streams or args.blame
+    ):
         parser.error(
-            "one of --record, --check, --parallel or --streams is required"
+            "one of --record, --check, --parallel, --streams or --blame "
+            "is required"
         )
 
     run_registry = bool(args.record or args.check or args.parallel)
@@ -223,6 +291,8 @@ def main(argv=None) -> int:
         failures.extend(check_parallel(ids, digests, args.parallel, seed=args.seed))
     if args.streams:
         failures.extend(check_streams(args.streams))
+    if args.blame:
+        failures.extend(check_blame(args.blame, seed=args.seed))
 
     if args.record:
         with open(args.record, "w") as fh:
@@ -254,8 +324,17 @@ def main(argv=None) -> int:
         checks.append("serial-vs-parallel")
     if args.streams:
         checks.append("streamed-aggregates")
+    if args.blame:
+        checks.append("blame-reports")
     suffix = f" ({' + '.join(checks)})" if checks else ""
-    subject = f"{len(ids)} experiments" if run_registry else "telemetry streams"
+    if run_registry:
+        subject = f"{len(ids)} experiments"
+    elif args.streams and args.blame:
+        subject = "telemetry streams + blame sweep"
+    elif args.blame:
+        subject = "blame sweep"
+    else:
+        subject = "telemetry streams"
     print(f"[determinism] OK — {subject} byte-identical{suffix}")
     return 0
 

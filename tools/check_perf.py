@@ -18,6 +18,9 @@ The engine record doubles as the telemetry-overhead gate: the benchmark
 subscribes nothing to the telemetry bus, so its throughput must also
 stay within ``--telemetry-tolerance`` (default 5%) of the baseline,
 bounding the cost of the instrumentation's zero-subscriber fast path.
+``--spans-tolerance`` (default 5%) gates the span/blame/profiler layer
+the same way: with no SpanBuilder attached and no profiler installed,
+the producers and hooks added for causal tracing must cost nothing.
 
 The engine benchmark compares best-of-``--repeat`` fresh runs so a
 loaded machine does not trip the gate spuriously; raise ``--repeat``
@@ -58,9 +61,12 @@ def run_tier1_tests() -> bool:
 
 
 def check_throughput(
-    tolerance: float, repeat: int, telemetry_tolerance: float = 0.0
+    tolerance: float,
+    repeat: int,
+    telemetry_tolerance: float = 0.0,
+    spans_tolerance: float = 0.0,
 ) -> int:
-    """Engine gate, plus (optionally) the telemetry-overhead gate.
+    """Engine gate, plus the telemetry- and spans-overhead gates.
 
     The benchmark never subscribes anything to the telemetry bus, so a
     fresh run measures exactly the zero-subscriber fast path: every
@@ -68,6 +74,10 @@ def check_throughput(
     *telemetry_tolerance* > 0 the same best-of-*repeat* record must also
     stay within that (tighter) fraction of the committed baseline,
     bounding what the instrumentation costs when nobody is listening.
+    *spans_tolerance* gates the span/blame/profiler additions the same
+    way: no SpanBuilder is attached and no profiler installed, so the
+    job-release producers and the profiler hook must stay free on the
+    disabled path.
     """
     if not os.path.exists(BASELINE):
         print(f"check_perf: no committed baseline at {BASELINE}")
@@ -102,6 +112,15 @@ def check_throughput(
             f"(tolerance {telemetry_tolerance:.0%}): {telemetry_verdict}"
         )
         failed = failed or fresh < telemetry_floor
+    if spans_tolerance > 0:
+        spans_floor = reference * (1.0 - spans_tolerance)
+        spans_verdict = "ok" if fresh >= spans_floor else "REGRESSION"
+        print(
+            f"check_perf: spans-disabled overhead gate: {fresh:.1f} vs "
+            f"floor {spans_floor:.1f} "
+            f"(tolerance {spans_tolerance:.0%}): {spans_verdict}"
+        )
+        failed = failed or fresh < spans_floor
     if best.get("events") != baseline.get("events"):
         # Not fatal by itself, but a changed event count means behaviour
         # moved, so the events/sec comparison is no longer like-for-like.
@@ -157,6 +176,12 @@ def main(argv=None) -> int:
         "throughput (default 0.05; 0 disables the gate)",
     )
     parser.add_argument(
+        "--spans-tolerance", type=float, default=0.05,
+        help="allowed spans-disabled overhead on engine throughput — "
+        "no SpanBuilder attached, no profiler installed "
+        "(default 0.05; 0 disables the gate)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=3,
         help="benchmark runs; the best one is compared (default 3)",
     )
@@ -180,7 +205,10 @@ def main(argv=None) -> int:
             print("check_perf: tier-1 tests failed")
             return 1
     status = check_throughput(
-        args.tolerance, args.repeat, telemetry_tolerance=args.telemetry_tolerance
+        args.tolerance,
+        args.repeat,
+        telemetry_tolerance=args.telemetry_tolerance,
+        spans_tolerance=args.spans_tolerance,
     )
     if status:
         return status
