@@ -42,6 +42,7 @@ from ..metrics.latency import LatencyRecorder, merge_recorders
 from ..simcore.rng import RandomStreams
 from ..simcore.time import MSEC, USEC, sec
 from ..workloads.background import add_background_vms
+from ..workloads.arrivals import ArrivalMux
 from ..workloads.memcached import MemcachedService
 from ..workloads.periodic import PeriodicDriver
 from ..workloads.video import TABLE3_PROFILES
@@ -201,6 +202,7 @@ def _video_tasks() -> List[Tuple[str, int]]:
 def _run_5b_rtvirt(duration_ns: int, seed: int) -> SchedulerOutcome:
     streams = RandomStreams(seed)
     system = RTVirtSystem(pcpu_count=15)
+    mux = ArrivalMux(system.engine, name="mc-5b")
     services: List[MemcachedService] = []
     budget, period = MEMCACHED_RTVIRT_PARAMS
     reserved = Fraction(0)
@@ -213,6 +215,7 @@ def _run_5b_rtvirt(duration_ns: int, seed: int) -> SchedulerOutcome:
             name=f"memcached{i + 1}",
             period_ns=period,
             slice_ns=budget,
+            mux=mux,
         ).start()
         services.append(svc)
         reserved += Fraction(budget, period)
@@ -241,6 +244,7 @@ def _run_5b_rtxen(duration_ns: int, seed: int, variant: str) -> SchedulerOutcome
     iface = MEMCACHED_RTXEN_A if variant == "A" else MEMCACHED_RTXEN_B
     streams = RandomStreams(seed)
     system = RTXenSystem(pcpu_count=15)
+    mux = ArrivalMux(system.engine, name="mc-5b")
     services: List[MemcachedService] = []
     reserved = Fraction(0)
     for i in range(5):
@@ -251,6 +255,7 @@ def _run_5b_rtxen(duration_ns: int, seed: int, variant: str) -> SchedulerOutcome
             streams.stream(f"mc{i}"),
             name=f"memcached{i + 1}",
             register=False,
+            mux=mux,
         )
         system.register_rta(vm, svc.task)
         svc.start()
@@ -284,13 +289,18 @@ def _run_5b_credit(duration_ns: int, seed: int) -> SchedulerOutcome:
         ratelimit_ns=CREDIT_RATELIMIT_NS,
         wake_overhead_ns=CREDIT_WAKE_OVERHEAD_NS,
     )
+    mux = ArrivalMux(system.engine, name="mc-5b")
     services: List[MemcachedService] = []
     # Weights proportional to each VM's CPU need, as a Credit operator
     # would configure them.
     for i in range(5):
         vm = system.create_vm(f"mc{i + 1}", weight=credit_weight_for_share(0.26, peers=14))
         svc = MemcachedService(
-            system.engine, vm, streams.stream(f"mc{i}"), name=f"memcached{i + 1}"
+            system.engine,
+            vm,
+            streams.stream(f"mc{i}"),
+            name=f"memcached{i + 1}",
+            mux=mux,
         ).start()
         services.append(svc)
     video: List[Task] = []

@@ -21,6 +21,7 @@ from ..baselines.rtxen import RTXenSystem
 from ..guest.task import Task, TaskKind
 from ..simcore.rng import RandomStreams
 from ..simcore.time import MSEC, SEC, sec
+from ..workloads.arrivals import ArrivalMux
 from ..workloads.periodic import TABLE1_GROUPS, RTASpec
 from ..workloads.sporadic import SporadicDriver
 from .common import format_table
@@ -53,6 +54,7 @@ def run_group_sporadic_rtvirt(
         pcpu_count = _pcpus_for(specs, slack_ns)
     streams = RandomStreams(seed)
     system = RTVirtSystem(pcpu_count=pcpu_count, slack_ns=slack_ns)
+    mux = ArrivalMux(system.engine, name=f"{group}-sporadic")
     tasks: List[Task] = []
     drivers: List[SporadicDriver] = []
     for i, spec in enumerate(specs):
@@ -69,6 +71,7 @@ def run_group_sporadic_rtvirt(
                 task,
                 streams.stream(f"{group}.sp{i}"),
                 max_requests=requests_per_rta,
+                mux=mux,
             ).start()
         )
     _run_requests(system, drivers, requests_per_rta)
@@ -96,6 +99,7 @@ def run_group_sporadic_rtxen(
         pcpu_count, _ = claim_for_group(interfaces)
     streams = RandomStreams(seed)
     system = RTXenSystem(pcpu_count=pcpu_count)
+    mux = ArrivalMux(system.engine, name=f"{group}-sporadic")
     tasks: List[Task] = []
     drivers: List[SporadicDriver] = []
     for i, (spec, iface) in enumerate(zip(specs, interfaces)):
@@ -114,6 +118,7 @@ def run_group_sporadic_rtxen(
                 task,
                 streams.stream(f"{group}.sp{i}"),
                 max_requests=requests_per_rta,
+                mux=mux,
             ).start()
         )
     _run_requests(system, drivers, requests_per_rta)

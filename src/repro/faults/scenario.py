@@ -13,13 +13,21 @@ from __future__ import annotations
 
 import warnings
 
+from . import timeline as _timeline
 from .timeline import At, Every, Scenario  # noqa: F401
 
-warnings.warn(
-    "repro.faults.scenario is deprecated; use repro.faults.timeline "
-    "(or the repro.faults package exports)",
-    DeprecationWarning,
-    stacklevel=2,
-)
+# Warn once per *process*, not once per import: the parallel runner's
+# worker warm-up (and anything else that pops this shim from
+# ``sys.modules`` and re-imports it) would otherwise repeat the warning.
+# The flag lives on the stable timeline module, which stays cached even
+# when the shim module object itself is recreated.
+if not getattr(_timeline, "_SCENARIO_SHIM_WARNED", False):
+    _timeline._SCENARIO_SHIM_WARNED = True
+    warnings.warn(
+        "repro.faults.scenario is deprecated; use repro.faults.timeline "
+        "(or the repro.faults package exports)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
 __all__ = ["At", "Every", "Scenario"]

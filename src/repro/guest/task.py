@@ -135,6 +135,8 @@ class Task:
                     f"task {name}: slice {slice_ns} exceeds period {period_ns}"
                 )
         self.name = name
+        #: Completion-event name, formatted once instead of per arming.
+        self.completion_name = f"complete:{name}"
         self.seq = next(Task._ids)
         self.slice_ns = slice_ns
         self.period_ns = period_ns

@@ -33,6 +33,8 @@ class VCPU:
         self.index = index
         self.uid = next(VCPU._ids)
         self.name = f"{vm.name}.vcpu{index}"
+        #: Idle-report event name, formatted once instead of per report.
+        self.idle_name = f"idle:{self.name}"
         self.tasks: List[Task] = []
         # Host-visible reservation parameters (set via the cross-layer
         # interface under RTVirt, or statically for the baselines).

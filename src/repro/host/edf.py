@@ -20,10 +20,14 @@ Hot-path structure (see DESIGN.md for the full argument):
 
 - the eligible set is maintained **incrementally**: ``_ready`` indexes
   servers with budget left (updated on replenish and on the drain-to-
-  zero crossing in :meth:`account`), and a lazy deadline-keyed heap of
-  ``(deadline, uid)`` entries — refreshed on replenish and wake — yields
-  the m earliest eligible servers without re-sorting every server on
-  every decision;
+  zero crossing in :meth:`account`); selection sweeps only that index
+  and sorts it at C level, so each decision costs O(ready log ready)
+  comparisons over the ready set instead of every registered server;
+- **exhaust timers are armed only when a target can have moved**: at
+  placement, and on a replenish that lands on an already-placed server.
+  While a server runs continuously its budget drains at wall rate, so
+  ``now + remaining`` — the timer target — is invariant and the timer
+  stays exact without per-pass re-arming;
 - **same-instant no-op passes are skipped**: a (time, mutation-counter)
   stamp taken after each completed pass detects repeated ``_reschedule``
   requests at one instant with no intervening state change (e.g. an
@@ -39,7 +43,6 @@ Hot-path structure (see DESIGN.md for the full argument):
 
 from __future__ import annotations
 
-import heapq
 from fractions import Fraction
 from operator import attrgetter
 from typing import Dict, List, Optional, Set, Tuple
@@ -63,6 +66,8 @@ class _Server:
         "key",
         "replenish_event",
         "exhaust_event",
+        "replenish_name",
+        "exhaust_name",
     )
 
     def __init__(self, vcpu: VCPU, budget: int, period: int) -> None:
@@ -76,6 +81,9 @@ class _Server:
         self.key: Tuple[int, int] = (0, vcpu.uid)
         self.replenish_event: Optional[Event] = None
         self.exhaust_event: Optional[Event] = None
+        #: Event names, formatted once instead of per timer arm.
+        self.replenish_name = f"replenish:{vcpu.name}"
+        self.exhaust_name = f"exhaust:{vcpu.name}"
 
 
 _SERVER_KEY = attrgetter("key")
@@ -100,11 +108,10 @@ class EDFHostScheduler(HostScheduler):
         #: half of the eligibility predicate; the other half, "has
         #: runnable work", is an O(1) counter check at use time).
         self._ready: Dict[int, _Server] = {}
-        #: Lazy min-heap of (deadline, uid) entries.  An entry is valid
-        #: while it matches the server's current key and the server is
-        #: eligible; stale entries sort early (old deadlines lie in the
-        #: past) and are discarded as they surface.
-        self._heap: List[Tuple[int, int]] = []
+        #: Eligible count computed by the last :meth:`_choose` (equals
+        #: ``_eligible_count()`` at that point); reused by the placement
+        #: loop's schedule-cost charge instead of a second sweep.
+        self._last_eligible = 0
         #: Bumped on every change that can alter the scheduling
         #: decision: replenish, exhaust, a VCPU gaining its first job,
         #: a VCPU draining its last job, idling, add/remove.  A pass
@@ -119,6 +126,15 @@ class EDFHostScheduler(HostScheduler):
         #: disarm sweep in :meth:`_reschedule` visits at most m servers
         #: instead of every registered one.
         self._exhaust_armed: Dict[int, _Server] = {}
+        #: Uids replenished while placed since the last pass: the only
+        #: already-placed servers whose exhaust target moved, hence the
+        #: only ones the pass must re-arm (placement arms the rest).
+        self._rearm: Set[int] = set()
+        #: Live exhaust-timer targets (time -> count), so "does a budget
+        #: drain to zero at this very instant" — the probe both the
+        #: elision test and the pre-decision sync ask — is one dict
+        #: membership test instead of a sweep over the armed registry.
+        self._exhaust_due: Dict[int, int] = {}
 
     # -- wiring ----------------------------------------------------------------
 
@@ -147,6 +163,7 @@ class EDFHostScheduler(HostScheduler):
         if server is None:
             return
         self._ready.pop(vcpu.uid, None)
+        self._rearm.discard(vcpu.uid)
         self._mutations += 1
         self.engine.cancel(server.replenish_event)
         self._disarm_exhaust(server)
@@ -162,13 +179,17 @@ class EDFHostScheduler(HostScheduler):
         # budget, not the fresh one.  Only this server's PCPU needs the
         # sync — its budget is the only accounting the refill overwrites.
         self.machine.sync_running(server.vcpu)
-        now = self.engine.now
+        now = self.machine.engine._now
         server.remaining = server.budget
         server.deadline = now + server.period
-        server.key = (server.deadline, server.vcpu.uid)
-        self._ready[server.vcpu.uid] = server
-        heapq.heappush(self._heap, server.key)
+        uid = server.vcpu.uid
+        server.key = (server.deadline, uid)
+        self._ready[uid] = server
         self._mutations += 1
+        if uid in self.machine._vcpu_pcpu:
+            # Refill landed on a placed server: its exhaust target just
+            # moved, so the pass this replenish forces must re-arm it.
+            self._rearm.add(uid)
         if self._t_budget:
             self.machine.bus.publish(
                 T.BUDGET_REPLENISH,
@@ -183,22 +204,28 @@ class EDFHostScheduler(HostScheduler):
         delay = server.period
         if self._jitter_source is not None:
             delay += self.timer_jitter()
-        server.replenish_event = self.engine.after(
+        server.replenish_event = self.machine.engine.after(
             delay,
             self._replenish,
             server,
             priority=PRIORITY_BUDGET,
-            name=f"replenish:{server.vcpu.name}",
+            name=server.replenish_name,
         )
         self._request_reschedule()
 
     def _exhaust(self, server: _Server) -> None:
+        self._drop_due(self.machine.engine._now)
         server.exhaust_event = None
         self._exhaust_armed.pop(server.vcpu.uid, None)
         # account() on the occupied PCPU drains the budget exactly (and
         # publishes the BUDGET_DEPLETE event at the crossing).
         self.machine.sync_running(server.vcpu)
         if server.remaining > 0:  # raced with a preemption; timer is stale
+            if server.vcpu.uid in self.machine._vcpu_pcpu:
+                # Defensive: a placed server must always hold a live
+                # timer (placement and replenish-on-placed arm it, so
+                # this re-arm is not expected to trigger).
+                self._arm_exhaust(server)
             return
         self._mutations += 1
         self._request_reschedule()
@@ -229,15 +256,12 @@ class EDFHostScheduler(HostScheduler):
             pending = vm._pending_jobs if vm._is_gedf else vcpu._pending_jobs
             if pending == 1:
                 # First job after an empty queue: the server just became
-                # eligible again.  Re-publish its key (its previous heap
-                # entry may have been discarded while it sat workless)
-                # and record the decision-input change.  A wake on top
-                # of existing work changes nothing the decision reads —
-                # the drain-at-now probe in :meth:`_request_reschedule`
-                # covers the one hidden input (budget hitting zero at
-                # this very instant, ahead of its exhaust timer).
-                if server.remaining > 0:
-                    heapq.heappush(self._heap, server.key)
+                # eligible again — a decision-input change.  A wake on
+                # top of existing work changes nothing the decision
+                # reads — the drain-at-now probe in
+                # :meth:`_request_reschedule` covers the one hidden
+                # input (budget hitting zero at this very instant,
+                # ahead of its exhaust timer).
                 self._mutations += 1
             self._request_reschedule()
         elif vcpu in self._background:
@@ -284,18 +308,9 @@ class EDFHostScheduler(HostScheduler):
         """
         self._resched_pending = True
         if self._mutations == self._pass_mutations:
-            now = self.engine.now
-            for server in self._exhaust_armed.values():
-                event = server.exhaust_event
-                if (
-                    event is not None
-                    and not event.cancelled
-                    and not event.consumed
-                    and event.time == now
-                ):
-                    break  # a budget drains to zero right now: must pass
-            else:
+            if self.machine.engine._now not in self._exhaust_due:
                 return
+            # else: a budget drains to zero right now — must pass.
         self._run_reschedule()
 
     def _run_reschedule(self) -> None:
@@ -338,39 +353,32 @@ class EDFHostScheduler(HostScheduler):
         return count
 
     def _choose(self) -> List[_Server]:
-        """The m earliest-deadline eligible servers, via the lazy heap.
+        """The m earliest-deadline eligible servers.
 
-        Pops entries in key order, discarding stale ones (superseded
-        deadline, drained budget, no work, removed server) and deduping
-        repeats; chosen entries are pushed back so every eligible server
-        always keeps at least one live entry.  Equivalent to
-        ``self._eligible()[:m]`` without sorting the eligible set.
+        One sweep over the ready (budget-holding) index filters for
+        runnable work — the eligibility predicate inlined from
+        ``_has_work`` — then a C-level sort picks the winners.
+        Equivalent to ``self._eligible()[:m]``; also caches the eligible
+        count for the placement loop's schedule-cost charge.
         """
-        heap = self._heap
         m = self.machine.available_count
-        ready = self._ready
-        chosen: List[_Server] = []
-        seen: Set[int] = set()
-        while heap and len(chosen) < m:
-            deadline, uid = heap[0]
-            server = ready.get(uid)
-            if server is None or server.deadline != deadline or not _has_work(server.vcpu):
-                heapq.heappop(heap)  # stale: superseded, drained, or idle
-                continue
-            heapq.heappop(heap)
-            if uid not in seen:
-                seen.add(uid)
-                chosen.append(server)
-        for server in chosen:
-            heapq.heappush(heap, server.key)
-        if len(heap) > 64 + 4 * len(self._servers):
-            # Compact: rebuild from live keys (deterministic — depends
-            # only on scheduler state, not on wall time).
-            live = [s.key for s in self._ready.values()]
-            heap.clear()
-            heap.extend(live)
-            heapq.heapify(heap)
-        return chosen
+        eligible = [
+            server
+            for server in self._ready.values()
+            if (
+                vm._pending_jobs
+                if (vm := server.vcpu.vm)._is_gedf
+                else server.vcpu._pending_jobs
+            )
+            > 0
+        ]
+        self._last_eligible = len(eligible)
+        # Timsort + trim beats heapq.nsmallest at this size (~3x measured
+        # at 48 servers / m=16); keys are unique so both agree exactly.
+        eligible.sort(key=_SERVER_KEY)
+        if len(eligible) > m:
+            del eligible[m:]
+        return eligible
 
     def _free_pcpus(self) -> List[int]:
         return [
@@ -391,27 +399,85 @@ class EDFHostScheduler(HostScheduler):
         self._mutations += 1
         self._request_reschedule()
 
+    def _sync_if_boundary(self) -> None:
+        """Full pre-decision sync, only at instants where it can matter.
+
+        The decision (:meth:`_choose`) reads the ready index and the
+        pending-job counters.  Both are maintained exactly by targeted
+        syncs *except* at two kinds of instant, where the old
+        unconditional ``sync_all`` observed a change ahead of the event
+        that reports it:
+
+        - a running server's budget drains to exactly zero now — its
+          BUDGET-priority exhaust timer has not fired yet, but
+          ``account()``'s zero-crossing must drop it from the ready
+          index before the decision; and
+        - a running job's work reaches exactly zero now — its
+          COMPLETION-priority event has not fired yet, but the sweep's
+          charge retires it, draining the queue before the decision.
+
+        Exhaust and completion timers are exact while their target runs
+        (the target ``now + remaining`` is invariant under wall-rate
+        draining), so "can matter" is precisely "some armed timer is due
+        at this very instant" — and only the PCPU hosting that timer can
+        cross.  Charging on every other PCPU is additive (splitting an
+        execution span at an extra instant charges the same totals), so
+        instead of a full ``sync_all`` sweep only the due PCPUs are
+        synced, in ascending index order like the sweep they replace.
+        """
+        machine = self.machine
+        now = machine.engine._now
+        exhaust_due = now in self._exhaust_due
+        completion_due = now in machine._completions_due
+        if not exhaust_due and not completion_due:
+            return
+        pcpus = machine.pcpus
+        due_indices = []
+        if exhaust_due:
+            locations = machine._vcpu_pcpu
+            for uid, server in self._exhaust_armed.items():
+                event = server.exhaust_event
+                if event is not None and event.time == now:
+                    index = locations.get(uid)
+                    if index is not None:
+                        due_indices.append(index)
+        if completion_due:
+            for pcpu in pcpus:
+                event = pcpu.completion_event
+                if event is not None and event.time == now:
+                    due_indices.append(pcpu.index)
+        due_indices.sort()
+        for index in due_indices:
+            machine.sync_pcpu(pcpus[index])
+
     def _reschedule(self) -> None:
         """Run the m earliest-deadline eligible servers; fill the rest."""
         machine = self.machine
-        machine.sync_all()
+        self._sync_if_boundary()
         chosen = self._choose()
         chosen_uids: Set[int] = {s.vcpu.uid for s in chosen}
 
-        # Vacate PCPUs whose RT occupant is no longer chosen.
-        for pcpu in machine.pcpus:
-            occupant = pcpu.running_vcpu
-            if occupant is None:
-                continue
-            if occupant.uid in self._servers and occupant.uid not in chosen_uids:
-                machine.set_running(pcpu.index, None)
+        # Vacate PCPUs whose RT occupant is no longer chosen.  The
+        # placement map is iterated instead of the PCPU array: it lists
+        # exactly the occupied PCPUs, and the snapshot makes the vacating
+        # mutation safe.
+        locations = machine._vcpu_pcpu
+        servers = self._servers
+        vacate = [
+            index
+            for uid, index in locations.items()
+            if uid in servers and uid not in chosen_uids
+        ]
+        for index in vacate:
+            machine.set_running(index, None)
 
         # Place chosen servers, preferring their current PCPU (no migration).
-        locations = machine._vcpu_pcpu
+        pending_uids: Set[int] = set()
         pending = [s for s in chosen if s.vcpu.uid not in locations]
         if pending:
-            elements = self._eligible_count()
+            elements = self._last_eligible
             for server in pending:
+                pending_uids.add(server.vcpu.uid)
                 target = self._pick_pcpu_for(server, chosen_uids)
                 if target is None:
                     raise SchedulingError(
@@ -421,10 +487,20 @@ class EDFHostScheduler(HostScheduler):
                 machine.set_running(target, server.vcpu)
                 self._arm_exhaust(server)
 
-        # Maintain exhaust timers for servers that kept their PCPU.
-        for server in chosen:
-            if server not in pending:
-                self._arm_exhaust(server)
+        # Servers that kept their PCPU keep an exact timer for free —
+        # while a server runs, budget drains at wall rate, so its target
+        # ``now + remaining`` never moves.  The one exception is a
+        # replenish that landed on a placed server (tracked in
+        # ``_rearm``): its remaining jumped, so re-arm it here, in
+        # chosen order, exactly where the old arm-every-pass sweep
+        # would have pushed the fresh timer.
+        rearm = self._rearm
+        if rearm:
+            for server in chosen:
+                uid = server.vcpu.uid
+                if uid in rearm and uid not in pending_uids:
+                    self._arm_exhaust(server)
+            rearm.clear()
         # Only servers in the armed registry can hold a live timer, so
         # de-scheduled servers outside it need no visit.
         stale = [s for u, s in self._exhaust_armed.items() if u not in chosen_uids]
@@ -445,7 +521,8 @@ class EDFHostScheduler(HostScheduler):
         return None
 
     def _arm_exhaust(self, server: _Server) -> None:
-        target = self.engine.now + server.remaining
+        engine = self.machine.engine
+        target = engine._now + server.remaining
         event = server.exhaust_event
         if (
             event is not None
@@ -457,18 +534,31 @@ class EDFHostScheduler(HostScheduler):
         self._disarm_exhaust(server)
         if server.remaining <= 0:
             return
-        server.exhaust_event = self.engine.at(
+        server.exhaust_event = engine.at(
             target,
             self._exhaust,
             server,
             priority=PRIORITY_BUDGET,
-            name=f"exhaust:{server.vcpu.name}",
+            name=server.exhaust_name,
         )
         self._exhaust_armed[server.vcpu.uid] = server
+        due = self._exhaust_due
+        due[target] = due.get(target, 0) + 1
+
+    def _drop_due(self, time: int) -> None:
+        due = self._exhaust_due
+        count = due.get(time, 0)
+        if count <= 1:
+            due.pop(time, None)
+        else:
+            due[time] = count - 1
 
     def _disarm_exhaust(self, server: _Server) -> None:
-        if server.exhaust_event is not None:
-            self.engine.cancel(server.exhaust_event)
+        event = server.exhaust_event
+        if event is not None:
+            if not event.cancelled and not event.consumed:
+                self._drop_due(event.time)
+            self.machine.engine.cancel(event)
             server.exhaust_event = None
         self._exhaust_armed.pop(server.vcpu.uid, None)
 
@@ -552,7 +642,10 @@ class PartitionedEDFHostScheduler(EDFHostScheduler):
     def _reschedule(self) -> None:
         """Per-PCPU EDF: each PCPU independently runs its earliest server."""
         machine = self.machine
-        machine.sync_all()
+        self._sync_if_boundary()
+        # The per-PCPU sweep below re-arms every chosen server, so the
+        # global variant's placed-replenish re-arm set is moot here.
+        self._rearm.clear()
         eligible = self._eligible()
         for pcpu in machine.pcpus:
             if pcpu.failed:

@@ -80,6 +80,14 @@ class Machine:
         #: Timestamp of the last full sync sweep (sync_all memoisation:
         #: a second sweep at the same instant is always a no-op).
         self._all_synced_at = -1
+        #: Online-PCPU count, maintained by fail/recover instead of
+        #: being recounted on every scheduling decision.
+        self._available = pcpu_count
+        #: Live completion-event targets (time -> count): host
+        #: schedulers probe "does a running job finish at this very
+        #: instant" with one membership test when deciding whether a
+        #: pre-decision charge sweep can be skipped.
+        self._completions_due: Dict[int, int] = {}
         engine.add_post_hook(self._refresh)
 
     @property
@@ -140,8 +148,8 @@ class Machine:
 
     @property
     def available_count(self) -> int:
-        """Number of online PCPUs."""
-        return sum(1 for p in self.pcpus if not p.failed)
+        """Number of online PCPUs (cached; updated on fail/recover)."""
+        return self._available
 
     def set_host_scheduler(self, scheduler) -> None:
         """Install the VMM-level scheduler."""
@@ -170,7 +178,7 @@ class Machine:
 
     def sync_pcpu(self, pcpu: PCPU) -> None:
         """Charge execution on *pcpu* from its last sync point to now."""
-        now = self.engine.now
+        now = self.engine._now
         last = pcpu.last_sync
         if last == now:
             return
@@ -226,7 +234,7 @@ class Machine:
         elapsed does nothing), so callers on the hot path can invoke
         this freely without paying O(pcpus) more than once per batch.
         """
-        now = self.engine.now
+        now = self.engine._now
         if self._all_synced_at == now:
             return
         for pcpu in self.pcpus:
@@ -249,7 +257,7 @@ class Machine:
     def _extend_overhead(self, pcpu: PCPU, cost: int) -> None:
         if cost <= 0:
             return
-        now = self.engine.now
+        now = self.engine._now
         pcpu.overhead_until = max(pcpu.overhead_until, now) + cost
         # The overhead window pushes the PCPU's effective start, so any
         # armed completion target is stale until the next refresh.
@@ -263,7 +271,8 @@ class Machine:
         """
         cost = self.costs.schedule_cost(elements)
         pcpu = self.pcpus[pcpu_index]
-        self.sync_pcpu(pcpu)
+        if pcpu.last_sync != self.engine._now:
+            self.sync_pcpu(pcpu)
         self._extend_overhead(pcpu, cost)
         self.metrics.overhead.record_schedule(cost)
 
@@ -300,7 +309,8 @@ class Machine:
         old = pcpu.running_vcpu
         if old is vcpu:
             return
-        self.sync_pcpu(pcpu)
+        if pcpu.last_sync != self.engine._now:
+            self.sync_pcpu(pcpu)
         if old is not None:
             del self._vcpu_pcpu[old.uid]
             self._vcpu_last_pcpu[old.uid] = pcpu_index
@@ -373,6 +383,7 @@ class Machine:
         if victim is not None:
             self.set_running(pcpu_index, None)
         pcpu.failed = True
+        self._available -= 1
         # The eviction above already synced; an idle PCPU needs it still.
         self.sync_pcpu(pcpu)
         self._cancel_completion(pcpu)
@@ -397,6 +408,7 @@ class Machine:
         if not pcpu.failed:
             return
         pcpu.failed = False
+        self._available += 1
         pcpu.last_sync = self.engine.now
         pcpu.overhead_until = self.engine.now
         pcpu.idle_notified = False
@@ -449,13 +461,24 @@ class Machine:
 
     # -- completion management ----------------------------------------------------------------
 
+    def _drop_completion_due(self, time: int) -> None:
+        due = self._completions_due
+        count = due.get(time, 0)
+        if count <= 1:
+            due.pop(time, None)
+        else:
+            due[time] = count - 1
+
     def _cancel_completion(self, pcpu: PCPU) -> None:
-        if pcpu.completion_event is not None:
-            self.engine.cancel(pcpu.completion_event)
+        event = pcpu.completion_event
+        if event is not None:
+            if not event.cancelled and not event.consumed:
+                self._drop_completion_due(event.time)
+            self.engine.cancel(event)
             pcpu.completion_event = None
 
     def _schedule_completion(self, pcpu: PCPU, job: Job) -> None:
-        target = pcpu.effective_start(self.engine.now) + job.remaining
+        target = pcpu.effective_start(self.engine._now) + job.remaining
         event = pcpu.completion_event
         if event is not None and event.active and event.time == target and event.args[1] is job:
             return
@@ -466,10 +489,13 @@ class Machine:
             pcpu,
             job,
             priority=PRIORITY_COMPLETION,
-            name=f"complete:{job.task.name}",
+            name=job.task.completion_name,
         )
+        due = self._completions_due
+        due[target] = due.get(target, 0) + 1
 
     def _on_completion(self, pcpu: PCPU, job: Job) -> None:
+        self._drop_completion_due(self.engine.now)
         pcpu.completion_event = None
         self.sync_pcpu(pcpu)  # retires the job as a side effect
         if job.completed_at is None:
@@ -539,7 +565,7 @@ class Machine:
         """
         if self.host_scheduler is None:
             return
-        now = self.engine.now
+        now = self.engine._now
         if self._has_gedf_vm:
             self.sync_all()
             self._dirty_pcpus.clear()
@@ -568,7 +594,8 @@ class Machine:
 
     def _refresh_pcpu(self, pcpu: PCPU, now: int) -> None:
         """Re-evaluate guest dispatch on one PCPU (see :meth:`_refresh`)."""
-        self.sync_pcpu(pcpu)
+        if pcpu.last_sync != now:
+            self.sync_pcpu(pcpu)
         vcpu = pcpu.running_vcpu
         if vcpu is None:
             return
@@ -596,7 +623,7 @@ class Machine:
                     pcpu,
                     vcpu,
                     priority=PRIORITY_SCHEDULE,
-                    name=f"idle:{vcpu.name}",
+                    name=vcpu.idle_name,
                 )
 
     def _report_idle(self, pcpu: PCPU, vcpu: VCPU) -> None:

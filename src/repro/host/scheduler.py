@@ -151,6 +151,10 @@ class HostScheduler(abc.ABC):
         naive loop do nothing.
         """
         machine = self.machine
+        if len(machine._vcpu_pcpu) >= machine._available:
+            # Every online PCPU is occupied — nothing to fill.  O(1)
+            # escape for the common fully-loaded pass.
+            return
         rotate = len(self._background) > 1
         for pcpu in machine.pcpus:
             if pcpu.running_vcpu is not None or pcpu.failed:

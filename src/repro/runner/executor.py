@@ -13,18 +13,39 @@ path differs only in *where* units execute.
 Workers are forked (POSIX) so they inherit ``sys.path`` and the warmed
 import state; on platforms without fork the default start method is
 used and units re-import :mod:`repro` from the worker's interpreter.
+
+Two scheduling rules keep the pool from losing to the serial path:
+
+- Units are submitted **longest first** (LPT order, from the measured
+  cost model in :mod:`repro.runner.workunits`), so a straggler like
+  fig5b's heaviest scheduler shard starts immediately instead of
+  serialising behind cheap units at the tail of the run.
+- The worker count is capped at the host's CPU count.  When that cap
+  (or the miss count) leaves a single effective worker, the pool is
+  skipped entirely and units run in-process — ``--jobs N`` on a
+  one-CPU host is then *identical* to the serial path instead of
+  paying fork/pickle overhead for no parallelism.  Set
+  ``REPRO_RUNNER_FORCE_POOL=1`` to keep the pool regardless (the
+  determinism harness uses it to exercise true cross-process merges).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache, disabled_cache
-from .workunits import ExperimentPlan, WorkUnit, build_plans, execute_unit
+from .workunits import (
+    ExperimentPlan,
+    WorkUnit,
+    build_plans,
+    execute_unit,
+    ordered_by_cost,
+)
 
 
 @dataclass
@@ -74,6 +95,14 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _effective_workers(jobs: int, misses: int) -> int:
+    """Workers that can actually run concurrently for this miss set."""
+    effective = min(jobs, misses)
+    if os.environ.get("REPRO_RUNNER_FORCE_POOL", "") not in ("", "0"):
+        return effective
+    return min(effective, os.cpu_count() or 1)
+
+
 def _execute_misses(
     misses: List[WorkUnit],
     jobs: int,
@@ -83,16 +112,23 @@ def _execute_misses(
     results: Dict[WorkUnit, Tuple[Any, float]] = {}
     if not misses:
         return results
-    if jobs <= 1 or len(misses) == 1:
+    if jobs <= 1 or _effective_workers(jobs, len(misses)) <= 1:
         for unit in misses:
             results[unit] = _timed_execute(unit)
             if echo:
                 echo(f"ran {unit.unit_id} ({results[unit][1]:.1f}s)")
         return results
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(misses)), mp_context=_pool_context()
+        max_workers=_effective_workers(jobs, len(misses)),
+        mp_context=_pool_context(),
     ) as pool:
-        pending = {pool.submit(_timed_execute, unit): unit for unit in misses}
+        # LPT submission: heaviest units first, so the expensive shards
+        # never start behind a tail of cheap ones.  Completion order is
+        # irrelevant to output — assembly consumes parts by position.
+        pending = {
+            pool.submit(_timed_execute, unit): unit
+            for unit in ordered_by_cost(misses)
+        }
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:

@@ -139,6 +139,55 @@ def _assemble_robustness(parts: Sequence[Any]) -> RobustnessResult:
     return RobustnessResult(list(parts))
 
 
+# -- cost model (parallel scheduling hints) -------------------------------------------
+
+#: Measured serial wall seconds per work unit (reference container, see
+#: ``BENCH_registry.json``'s accounting).  Purely a scheduling hint: the
+#: executor submits uncached units longest-first (LPT), so the heavy
+#: shards — fig5b's RTVirt run, the monolithic fig4 — start immediately
+#: instead of straggling behind a tail of sub-second units.  Staleness
+#: degrades balance, never correctness; assembly consumes parts by
+#: position regardless of completion order.
+_UNIT_COST_S: Dict[str, float] = {
+    "fig5b/RTVirt": 22.6,
+    "fig4/whole": 20.8,
+    "fig5b/RT-Xen B": 9.6,
+    "table6/Single-RTA": 9.5,
+    "fig5a/RTVirt": 6.2,
+    "fig5b/RT-Xen A": 6.0,
+    "table6/Multi-RTA": 3.7,
+    "fig5a/RT-Xen B": 3.0,
+    "table4/RTVirt": 2.9,
+    "fig5a/RT-Xen A": 2.7,
+    "fig5b/Credit": 2.1,
+    "fig5a/Credit": 1.6,
+    "fig1/whole": 1.0,
+    "table4/RT-Xen": 0.6,
+    "robustness_hypercall/RTVirt": 0.6,
+    "table4/Credit": 0.2,
+    "table6/rtxen-capacity": 0.2,
+}
+
+#: Per-experiment fallbacks for shard families whose units are uniform
+#: (table1/sporadic group×framework grids, the robustness cells).
+_FAMILY_COST_S: Dict[str, float] = {"table1": 0.5, "sporadic": 0.2}
+
+_DEFAULT_COST_S = 0.15
+
+
+def estimated_cost_s(unit: WorkUnit) -> float:
+    """Expected serial seconds for *unit* (measured, with fallbacks)."""
+    cost = _UNIT_COST_S.get(unit.unit_id)
+    if cost is not None:
+        return cost
+    return _FAMILY_COST_S.get(unit.experiment_id, _DEFAULT_COST_S)
+
+
+def ordered_by_cost(units: Sequence[WorkUnit]) -> List[WorkUnit]:
+    """*units* longest-first; ties break on unit id (deterministic)."""
+    return sorted(units, key=lambda u: (-estimated_cost_s(u), u.unit_id))
+
+
 # -- plan construction ----------------------------------------------------------------
 
 

@@ -41,6 +41,7 @@ from .simcore.errors import ConfigurationError
 from .simcore.rng import RandomStreams
 from .simcore.time import MSEC, SEC, USEC, msec, sec, usec
 from .workloads.periodic import PeriodicDriver
+from .workloads.arrivals import ArrivalMux
 from .workloads.sporadic import SporadicDriver
 
 
@@ -136,6 +137,7 @@ def run_scenario(
     if attach is not None:
         attach(system)
     system_kind = spec.get("system", {}).get("type", "rtvirt")
+    mux = ArrivalMux(system.engine, name=name)
     all_tasks: List[Task] = []
 
     for vm_spec in spec.get("vms", []):
@@ -181,6 +183,7 @@ def run_scenario(
                         task_spec.get("max_interarrival_ms", 1000)
                     ),
                     max_requests=task_spec.get("max_requests"),
+                    mux=mux,
                 ).start()
             else:
                 PeriodicDriver(

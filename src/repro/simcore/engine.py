@@ -16,7 +16,7 @@ from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from .errors import SimulationError
-from .events import PRIORITY_DEFAULT, Event, EventQueue
+from .events import PRIORITY_DEFAULT, Event, active_queue_class
 
 
 class Engine:
@@ -33,7 +33,9 @@ class Engine:
     )
 
     def __init__(self) -> None:
-        self._queue = EventQueue()
+        # Resolved per engine so REPRO_EVENT_QUEUE (the determinism
+        # harness's --queue mode) can flip implementations in-process.
+        self._queue = active_queue_class()()
         self._now = 0
         self._running = False
         self._in_batch = False

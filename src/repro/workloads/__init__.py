@@ -1,5 +1,6 @@
 """Workload generators: periodic (rt-app), sporadic, video, memcached, background."""
 
+from .arrivals import ArrivalMux
 from .background import add_background_vms
 from .memcached import (
     MEMCACHED_PERIOD_NS,
@@ -25,6 +26,7 @@ from .video import (
 )
 
 __all__ = [
+    "ArrivalMux",
     "RTASpec",
     "TABLE1_GROUPS",
     "TABLE5_GROUPS",

@@ -27,6 +27,7 @@ from ..simcore.errors import ConfigurationError
 from ..simcore.events import PRIORITY_RELEASE
 from ..simcore.rng import RandomSource
 from ..simcore.time import MSEC, USEC
+from .arrivals import ArrivalMux
 
 #: Mean inter-arrival: 100 queries/second.
 DEFAULT_MEAN_INTERARRIVAL_NS = 10 * MSEC
@@ -62,6 +63,7 @@ class MemcachedService:
         service_mu: float = SERVICE_MU,
         service_sigma: float = SERVICE_SIGMA,
         register: bool = True,
+        mux: Optional[ArrivalMux] = None,
     ) -> None:
         if mean_interarrival_ns <= period_ns:
             raise ConfigurationError(
@@ -79,6 +81,7 @@ class MemcachedService:
         self.service_mu = service_mu
         self.service_sigma = service_sigma
         self.latency = LatencyRecorder(name=name)
+        self.mux = mux
         self.requests_sent = 0
         self._stopped = False
 
@@ -106,8 +109,12 @@ class MemcachedService:
         return max(1, round(self.rng.lognormal(self.service_mu, self.service_sigma)))
 
     def _schedule_next(self) -> None:
+        gap = self._draw_gap()
+        if self.mux is not None:
+            self.mux.after(gap, self._request)
+            return
         self.engine.after(
-            self._draw_gap(),
+            gap,
             self._request,
             priority=PRIORITY_RELEASE,
             name=f"request:{self.task.name}",

@@ -127,12 +127,16 @@ def deploy_rtapp(
     config: RTAppConfig,
     vm: VM,
     rng=None,
+    mux=None,
 ) -> List[Task]:
     """Register and drive *config*'s threads inside *vm*.
 
     Returns the created tasks; the VM must already be attached to a
     system (its engine schedules the drivers).  Sporadic threads need
-    *rng* (a :class:`~repro.simcore.rng.RandomSource`).
+    *rng* (a :class:`~repro.simcore.rng.RandomSource`).  Pass *mux*
+    (an :class:`~repro.workloads.arrivals.ArrivalMux`) to aggregate the
+    sporadic threads' request streams with the experiment's other
+    open-loop clients.
     """
     if vm.machine is None:
         raise ConfigurationError("attach the VM to a system before deploying rt-app")
@@ -149,7 +153,7 @@ def deploy_rtapp(
                 raise ConfigurationError(
                     f"sporadic rt-app task {spec.name!r} needs an rng"
                 )
-            SporadicDriver(engine, vm, task, rng).start()
+            SporadicDriver(engine, vm, task, rng, mux=mux).start()
         else:
             PeriodicDriver(
                 engine, vm, task, phase_ns=usec(spec.delay_us), until=until

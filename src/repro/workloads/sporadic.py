@@ -22,10 +22,16 @@ from ..simcore.errors import ConfigurationError
 from ..simcore.events import PRIORITY_RELEASE
 from ..simcore.rng import RandomSource
 from ..simcore.time import MSEC, SEC
+from .arrivals import ArrivalMux
 
 
 class SporadicDriver:
-    """Triggers one-shot jobs with random inter-arrival times."""
+    """Triggers one-shot jobs with random inter-arrival times.
+
+    Pass an :class:`~repro.workloads.arrivals.ArrivalMux` shared by the
+    experiment's clients to aggregate their request streams into one
+    engine event stream (exact — see the mux's module docstring).
+    """
 
     def __init__(
         self,
@@ -37,6 +43,7 @@ class SporadicDriver:
         max_interarrival_ns: int = SEC,
         max_requests: Optional[int] = None,
         network_delay_ns: int = 0,
+        mux: Optional[ArrivalMux] = None,
     ) -> None:
         if task.kind is not TaskKind.SPORADIC:
             raise ConfigurationError(f"{task.name} is not a sporadic task")
@@ -55,6 +62,7 @@ class SporadicDriver:
         self.max_interarrival_ns = max_interarrival_ns
         self.max_requests = max_requests
         self.network_delay_ns = network_delay_ns
+        self.mux = mux
         self.requests_sent = 0
         self._stopped = False
 
@@ -68,6 +76,9 @@ class SporadicDriver:
 
     def _schedule_next(self) -> None:
         gap = self.rng.uniform_int(self.min_interarrival_ns, self.max_interarrival_ns)
+        if self.mux is not None:
+            self.mux.after(gap + self.network_delay_ns, self._arrive)
+            return
         self.engine.after(
             gap + self.network_delay_ns,
             self._arrive,

@@ -33,8 +33,17 @@ def test_experiment_runner_namespace_is_unrelated():
     assert repro.scenario.run_scenario is not repro.faults.timeline.Scenario
 
 
-def test_old_module_path_warns_but_still_exports():
+def _reset_shim_warning():
+    """Forget that this process already warned (test isolation)."""
+    from repro.faults import timeline
+
     sys.modules.pop("repro.faults.scenario", None)
+    if hasattr(timeline, "_SCENARIO_SHIM_WARNED"):
+        del timeline._SCENARIO_SHIM_WARNED
+
+
+def test_old_module_path_warns_but_still_exports():
+    _reset_shim_warning()
     with pytest.warns(DeprecationWarning, match="repro.faults.timeline"):
         shim = importlib.import_module("repro.faults.scenario")
     from repro.faults import timeline
@@ -44,12 +53,17 @@ def test_old_module_path_warns_but_still_exports():
     assert shim.Scenario is timeline.Scenario
 
 
-def test_old_module_path_warns_exactly_once():
-    # One warning at import; re-importing the cached module is silent.
-    sys.modules.pop("repro.faults.scenario", None)
+def test_old_module_path_warns_exactly_once_per_process():
+    # One warning per process: re-importing the cached module is silent,
+    # and so is a *fresh* re-import after the module object is dropped
+    # from sys.modules — the failure mode that made the parallel
+    # runner's worker warm-up repeat the warning per work unit.
+    _reset_shim_warning()
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         importlib.import_module("repro.faults.scenario")
+        importlib.import_module("repro.faults.scenario")
+        sys.modules.pop("repro.faults.scenario", None)
         importlib.import_module("repro.faults.scenario")
     deprecations = [
         w for w in caught if issubclass(w.category, DeprecationWarning)

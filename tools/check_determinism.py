@@ -35,10 +35,19 @@ how the work units were scheduled.  Like ``--streams`` it stands alone:
 
     python tools/check_determinism.py --blame 4
 
+With ``--queue`` every selected experiment runs twice serially — once
+under the calendar event queue (the default implementation) and once
+under the reference binary heap (``REPRO_EVENT_QUEUE=heap``) — and the
+two metrics hashes must match per experiment: the gate that the queue
+swap changed *nothing* about simulated behaviour:
+
+    python tools/check_determinism.py --queue
+    python tools/check_determinism.py --queue --only "table1,fig5b"
+
 Exit status is non-zero when any experiment's hash differs from the
 recorded baseline (or, with ``--check``, when an experiment appeared or
 disappeared), or when the parallel runner's merged output diverges from
-the serial path.
+the serial path, or when the two queue implementations disagree.
 """
 
 from __future__ import annotations
@@ -217,6 +226,44 @@ def check_blame(jobs: int, seed=None) -> list:
     return failures
 
 
+def check_queue(ids, serial_digests, seed=None) -> list:
+    """Queue-implementation gate: calendar vs reference heap.
+
+    The serial digests were produced under the session's default queue
+    (the calendar queue unless ``REPRO_EVENT_QUEUE`` overrides it); this
+    rerun forces the reference binary heap and every experiment's
+    metrics hash must be unchanged.  The engine reads the override per
+    construction, so setting the environment variable in-process covers
+    every system the experiments build.
+    """
+    print("[determinism] heap-queue rerun ...", flush=True)
+    previous = os.environ.get("REPRO_EVENT_QUEUE")
+    os.environ["REPRO_EVENT_QUEUE"] = "heap"
+    failures = []
+    try:
+        for experiment_id in ids:
+            digest = experiment_digest(experiment_id, seed=seed)
+            got = digest["sha256"]
+            want = serial_digests[experiment_id]["sha256"]
+            verdict = "ok" if got == want else "DIVERGED"
+            print(
+                f"[determinism]   {experiment_id}: heap {got[:16]} "
+                f"vs calendar {want[:16]}: {verdict} ({digest['wall_s']}s)",
+                flush=True,
+            )
+            if got != want:
+                failures.append(
+                    f"{experiment_id}: heap-queue hash {got[:16]} "
+                    f"!= calendar {want[:16]}"
+                )
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_EVENT_QUEUE", None)
+        else:
+            os.environ["REPRO_EVENT_QUEUE"] = previous
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     mode = parser.add_mutually_exclusive_group(required=False)
@@ -258,16 +305,33 @@ def main(argv=None) -> int:
         "and fail unless the merged blame reports hash identically "
         "(does not rerun the experiment registry)",
     )
+    parser.add_argument(
+        "--queue",
+        action="store_true",
+        help="rerun every selected experiment under the reference heap "
+        "event queue (REPRO_EVENT_QUEUE=heap) and fail unless its "
+        "metrics hash equals the calendar-queue run's",
+    )
     args = parser.parse_args(argv)
     if not (
-        args.record or args.check or args.parallel or args.streams or args.blame
+        args.record
+        or args.check
+        or args.parallel
+        or args.streams
+        or args.blame
+        or args.queue
     ):
         parser.error(
-            "one of --record, --check, --parallel, --streams or --blame "
-            "is required"
+            "one of --record, --check, --parallel, --streams, --blame "
+            "or --queue is required"
         )
 
-    run_registry = bool(args.record or args.check or args.parallel)
+    if args.parallel or args.streams or args.blame:
+        # The cross-process gates must actually cross processes, even on
+        # hosts where the executor would collapse the pool to one CPU.
+        os.environ["REPRO_RUNNER_FORCE_POOL"] = "1"
+
+    run_registry = bool(args.record or args.check or args.parallel or args.queue)
     if args.only:
         ids = registry.expand_ids(
             [i.strip() for i in args.only.split(",") if i.strip()]
@@ -287,6 +351,8 @@ def main(argv=None) -> int:
             )
 
     failures = []
+    if args.queue:
+        failures.extend(check_queue(ids, digests, seed=args.seed))
     if args.parallel:
         failures.extend(check_parallel(ids, digests, args.parallel, seed=args.seed))
     if args.streams:
@@ -320,6 +386,8 @@ def main(argv=None) -> int:
     checks = []
     if args.check:
         checks.append("baseline")
+    if args.queue:
+        checks.append("queue-equivalence")
     if args.parallel:
         checks.append("serial-vs-parallel")
     if args.streams:
