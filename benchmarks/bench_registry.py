@@ -37,7 +37,8 @@ def default_jobs() -> int:
 
 
 def time_run(jobs: int) -> dict:
-    """One cache-disabled full-registry run; returns wall + per-experiment cost."""
+    """One cache-disabled full-registry run; returns wall + per-experiment
+    and per-unit costs (the unit walls feed the slowest-unit gate)."""
     started = time.perf_counter()
     report = run_experiments(jobs=jobs)
     wall = time.perf_counter() - started
@@ -45,6 +46,11 @@ def time_run(jobs: int) -> dict:
         "wall_s": round(wall, 2),
         "per_experiment_s": {
             r.experiment_id: round(r.unit_wall_s, 2) for r in report.reports
+        },
+        "per_unit_s": {
+            unit_id: round(unit_wall, 2)
+            for r in report.reports
+            for unit_id, unit_wall in r.unit_walls.items()
         },
     }
 
@@ -58,6 +64,9 @@ def run_benchmark(jobs: int | None = None) -> dict:
     print(f"[bench-registry] parallel run ({jobs} jobs) ...", flush=True)
     parallel = time_run(jobs)
     print(f"[bench-registry]   {parallel['wall_s']}s", flush=True)
+    slowest_id, slowest_s = max(
+        serial["per_unit_s"].items(), key=lambda item: item[1]
+    )
     return {
         "scenario": "full experiment registry, serial vs parallel runner",
         "experiments": registry.all_ids(),
@@ -67,6 +76,8 @@ def run_benchmark(jobs: int | None = None) -> dict:
         "jobs": jobs,
         "host_cpus": os.cpu_count(),
         "per_experiment_serial_s": serial["per_experiment_s"],
+        "per_unit_serial_s": serial["per_unit_s"],
+        "slowest_unit": [slowest_id, slowest_s],
     }
 
 

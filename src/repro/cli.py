@@ -6,6 +6,8 @@
     python -m repro run all              # the whole evaluation, serially
     python -m repro run-all --jobs 4     # the whole evaluation, in parallel
     python -m repro run-all --only fig3,table1 --no-cache
+    python -m repro cache stats          # entry count, bytes, last-run hits
+    python -m repro cache prune --max-bytes 50000000    # LRU eviction
     python -m repro explain robustness_pcpu_fail        # why did jobs miss?
     python -m repro explain robustness_pcpu_fail --job vm2.rta1#15
 """
@@ -84,6 +86,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--summaries",
         action="store_true",
         help="print each experiment's summary after the timing table",
+    )
+    cache = sub.add_parser(
+        "cache", help="inspect and manage the run-all result cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "clear", "prune"),
+        help="stats: entry count/bytes and last-run counters; clear: "
+        "delete every entry; prune: evict LRU entries over --max-bytes",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result cache location (default ./.repro_cache)",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        help="prune target: evict least-recently-used entries until the "
+        "cache holds at most N bytes",
     )
     scenario = sub.add_parser(
         "scenario", help="run a declarative JSON scenario file"
@@ -200,7 +223,7 @@ def _blame_family(
     """Run the blame sweep of one fault family through the plan executor."""
     from .runner.executor import execute_plan
     from .simcore.time import sec
-    from .telemetry.blame import blame_plan
+    from .telemetry.blame_plan import blame_plan
 
     plan = blame_plan(
         faults=(fault,),
@@ -261,6 +284,58 @@ def _cmd_run_all(args) -> int:
         for r in report.reports:
             print(f"\n=== {r.experiment_id}")
             print(r.summary)
+    return 0
+
+
+def _format_bytes(count: int) -> str:
+    size = float(count)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or suffix == "GiB":
+            return f"{size:.1f} {suffix}" if suffix != "B" else f"{count} B"
+        size /= 1024
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args) -> int:
+    from .runner.cache import ResultCache
+
+    # Maintenance never hashes sources: pin an unused salt.
+    cache = ResultCache(path=args.cache_dir, salt="")
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache: {cache.path}")
+        print(f"  entries: {stats['entries']}")
+        print(f"  size: {_format_bytes(stats['bytes'])}")
+        last = cache.last_run()
+        if last is not None:
+            print(
+                f"  last run: {last.get('hits', 0)} hits, "
+                f"{last.get('misses', 0)} misses, "
+                f"{last.get('writes', 0)} writes "
+                f"({last.get('units', '?')} units, "
+                f"{last.get('jobs', '?')} job(s), "
+                f"{last.get('wall_s', '?')}s wall)"
+            )
+        else:
+            print("  last run: no recorded run")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.path}")
+        return 0
+    # prune
+    if args.max_bytes is None:
+        print("cache prune requires --max-bytes N", file=sys.stderr)
+        return 2
+    try:
+        removed, remaining = cache.prune(args.max_bytes)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(
+        f"pruned {removed} entries from {cache.path}; "
+        f"{_format_bytes(remaining)} remain"
+    )
     return 0
 
 
@@ -463,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run-all":
         return _cmd_run_all(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "explain":

@@ -22,7 +22,7 @@ its own piece always reclaims it.
 
 from __future__ import annotations
 
-from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Optional, Tuple
 
 from ..guest.task import TaskKind
@@ -63,12 +63,19 @@ class DPWrapScheduler(HostScheduler):
         self.min_global_slice_ns = min_global_slice_ns
         self.idle_slice_ns = idle_slice_ns
         self._active: Dict[int, VCPU] = {}  # uid -> RT VCPU
+        # The active VCPUs sorted by uid, rebuilt lazily after population
+        # changes.  Every slice and every donation scan walks this list;
+        # caching it removes a sorted() + dict-lookup pass per call.
+        self._sorted_vcpus: Optional[List[VCPU]] = None
         # CPU affinity (paper §6): uid -> pinned PCPU; these VCPUs are
         # excluded from wrap-around migration.
         self._affinity: Dict[int, int] = {}
         # Fractional nanoseconds of entitlement carried between slices so
         # cumulative allocation tracks cumulative entitlement within 1 ns.
-        self._carry: Dict[int, Fraction] = {}
+        # Stored as exact (numerator, denominator) integer pairs with a
+        # positive denominator — same values a Fraction would hold, without
+        # the per-operation normalization cost on the slice hot path.
+        self._carry: Dict[int, Tuple[int, int]] = {}
         # Wall-clock instant up to which each VCPU's entitlement has been
         # accrued.  Re-partitions refund unexecuted pieces and accrue only
         # the *new* window, so no interval is ever granted twice.
@@ -95,6 +102,7 @@ class DPWrapScheduler(HostScheduler):
     def add_vcpu(self, vcpu: VCPU) -> None:
         """Start scheduling *vcpu*; its bandwidth comes from its params."""
         self._active[vcpu.uid] = vcpu
+        self._sorted_vcpus = None
         self.shared_memory.map_vcpu(vcpu)
         vcpu.admitted = True
         if self._started:
@@ -102,6 +110,7 @@ class DPWrapScheduler(HostScheduler):
 
     def remove_vcpu(self, vcpu: VCPU) -> None:
         self._active.pop(vcpu.uid, None)
+        self._sorted_vcpus = None
         self._carry.pop(vcpu.uid, None)
         self._granted_until.pop(vcpu.uid, None)
         self._laid.pop(vcpu.uid, None)
@@ -140,12 +149,23 @@ class DPWrapScheduler(HostScheduler):
 
     # -- the deadline-partitioning step ----------------------------------------------
 
+    def _active_sorted(self) -> List[VCPU]:
+        """All active RT VCPUs in uid order (cached between population changes)."""
+        vcpus = self._sorted_vcpus
+        if vcpus is None:
+            active = self._active
+            vcpus = self._sorted_vcpus = [active[uid] for uid in sorted(active)]
+        return vcpus
+
+    def _carry_add(self, uid: int, amount: int) -> None:
+        """Add *amount* whole nanoseconds to a VCPU's fractional carry."""
+        num, den = self._carry.get(uid, (0, 1))
+        self._carry[uid] = (num + amount * den, den)
+
     def _rt_entries(self) -> List[VCPU]:
         """RT VCPUs with a positive bandwidth grant, in deterministic order."""
         return [
-            self._active[uid]
-            for uid in sorted(self._active)
-            if self._active[uid].bandwidth > 0
+            v for v in self._active_sorted() if v.period_ns > 0 and v.budget_ns > 0
         ]
 
     def _next_global_deadline(self, now: int) -> int:
@@ -174,7 +194,7 @@ class DPWrapScheduler(HostScheduler):
                 if uid in self._active:
                     lost = end - max(start, now)
                     if lost > 0:
-                        self._carry[uid] = self._carry.get(uid, Fraction(0)) + lost
+                        self._carry_add(uid, lost)
                         self._laid[uid] = self._laid.get(uid, 0) - lost
         for event in self._slice_events:
             self.engine.cancel(event)
@@ -235,7 +255,7 @@ class DPWrapScheduler(HostScheduler):
                         vcpu,
                         end,
                         priority=PRIORITY_SCHEDULE,
-                        name=f"piece:{vcpu.name}",
+                        name=vcpu.piece_name,
                     )
                 )
                 cursor = end
@@ -269,19 +289,47 @@ class DPWrapScheduler(HostScheduler):
         grant covers only the window beyond ``granted_until`` (which may
         be negative when a re-partition shortens the horizon), and the
         carry absorbs every rounding/clipping/refund correction.
+
+        The arithmetic is exact rational math over integer pairs —
+        value-for-value what ``Fraction`` computes, with the same floor
+        (floor of a rational is representation-independent for positive
+        denominators), minus the normalization cost.  In the steady state
+        the carry's denominator equals the VCPU's period, so one slice
+        costs two multiplications and one floor division per VCPU.
         """
-        granted_until = self._granted_until.get(vcpu.uid, now)
-        entitlement = vcpu.bandwidth * (deadline - granted_until) + self._carry.get(
-            vcpu.uid, Fraction(0)
-        )
-        self._granted_until[vcpu.uid] = deadline
-        alloc = entitlement.numerator // entitlement.denominator
+        uid = vcpu.uid
+        granted_until = self._granted_until.get(uid, now)
+        self._granted_until[uid] = deadline
+        span = deadline - granted_until
+        period = vcpu.period_ns
+        cnum, cden = self._carry.get(uid, (0, 1))
+        # entitlement = budget/period * span + cnum/cden
+        if period <= 0:
+            ent_num, ent_den = cnum, cden
+        elif cden == period:
+            ent_num = vcpu.budget_ns * span + cnum
+            ent_den = period
+        elif period % cden == 0:
+            ent_num = vcpu.budget_ns * span + cnum * (period // cden)
+            ent_den = period
+        else:
+            ent_num = vcpu.budget_ns * span * cden + cnum * period
+            ent_den = period * cden
+        alloc = ent_num // ent_den
         alloc = min(alloc, slice_len)  # one VCPU never exceeds one PCPU
         # Carried remainders can push the total a few ns past capacity;
         # clip and keep the shortfall owed for the next slice.
         alloc = max(0, min(alloc, available))
-        self._carry[vcpu.uid] = entitlement - alloc
-        self._laid[vcpu.uid] = self._laid.get(vcpu.uid, 0) + alloc
+        carry_num = ent_num - alloc * ent_den
+        if ent_den != period and ent_den > 1:
+            # Off the steady-state path (a parameter change mixed two
+            # denominators): reduce, as Fraction normalization would.
+            g = gcd(carry_num, ent_den)
+            if g > 1:
+                carry_num //= g
+                ent_den //= g
+        self._carry[uid] = (carry_num, ent_den)
+        self._laid[uid] = self._laid.get(uid, 0) + alloc
         if self._t_budget and alloc > 0:
             # DP-WRAP has no deplete moment: entitlement is laid out per
             # slice and unused pieces are donated, so only grants exist.
@@ -364,14 +412,14 @@ class DPWrapScheduler(HostScheduler):
                 continue
             slot = slot_of.get(target)
             if slot is None:  # pinned to a failed PCPU: owe it all
-                self._carry[vcpu.uid] += alloc
+                self._carry_add(vcpu.uid, alloc)
                 continue
             take = min(alloc, slice_len - fill[slot])
             if take > 0:
                 place(slot, fill[slot], take, vcpu)
                 fill[slot] += take
             if take < alloc:  # affine PCPU full: owe the rest
-                self._carry[vcpu.uid] += alloc - take
+                self._carry_add(vcpu.uid, alloc - take)
 
         k = 0
         pos = fill[0] if m else 0
@@ -398,7 +446,7 @@ class DPWrapScheduler(HostScheduler):
                     k += 1
                     pos = fill[k] if k < m else 0
             if alloc > 0:  # no room left: refund
-                self._carry[vcpu.uid] += alloc
+                self._carry_add(vcpu.uid, alloc)
         for plist in pieces:
             plist.sort()
         return pieces
@@ -448,17 +496,26 @@ class DPWrapScheduler(HostScheduler):
         now = self.engine.now
         best = None
         best_key = None
-        locations = self.machine.vcpu_locations()
-        for uid in sorted(self._active):
-            vcpu = self._active[uid]
-            if vcpu is exclude or vcpu.uid in locations:
+        # Read the machine's placement map in place (no copy): this scan
+        # runs on every donation decision and only tests membership.
+        locations = self.machine._vcpu_pcpu
+        affinity = self._affinity
+        shared_memory = self.shared_memory
+        for vcpu in self._active_sorted():
+            uid = vcpu.uid
+            if vcpu is exclude or uid in locations:
                 continue
-            pinned = self._affinity.get(uid)
-            if pinned is not None and pcpu_index is not None and pinned != pcpu_index:
-                continue
+            if affinity:
+                pinned = affinity.get(uid)
+                if (
+                    pinned is not None
+                    and pcpu_index is not None
+                    and pinned != pcpu_index
+                ):
+                    continue
             if not vcpu.vm.vcpu_has_work(vcpu):
                 continue
-            deadline = self.shared_memory.read(vcpu, now)
+            deadline = shared_memory.read(vcpu, now)
             key = (deadline if deadline is not None else 2**63, uid)
             if best_key is None or key < best_key:
                 best = vcpu
@@ -574,7 +631,7 @@ class DPWrapScheduler(HostScheduler):
             bank = self._laid.get(vcpu.uid, 0) - self._received.get(vcpu.uid, 0)
             bank = max(0, min(bank, vcpu.budget_ns))
             if bank > 0:
-                self._carry[vcpu.uid] = self._carry.get(vcpu.uid, Fraction(0)) + bank
+                self._carry_add(vcpu.uid, bank)
                 self._laid[vcpu.uid] = self._laid.get(vcpu.uid, 0) - bank
                 self._request_repartition()
 

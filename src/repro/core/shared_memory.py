@@ -24,6 +24,10 @@ class SharedMemoryPage:
 
     def __init__(self) -> None:
         self._slots: Dict[int, Tuple[VCPU, DeadlineProvider]] = {}
+        # Slots flattened to (uid, vcpu, provider) in uid order, rebuilt
+        # lazily after map/unmap: the host scans every slot once per
+        # global slice, so the per-scan sorted() pass is the hot cost.
+        self._sorted_slots: Optional[List[Tuple[int, VCPU, DeadlineProvider]]] = None
         self.reads = 0
         #: Fault injection: while ``now < _frozen_until`` reads return
         #: the snapshot taken at freeze time (a stale page — guest
@@ -40,10 +44,21 @@ class SharedMemoryPage:
         over pending job deadlines and per-task worst-case next deadlines.
         """
         self._slots[vcpu.uid] = (vcpu, provider or vcpu.next_earliest_deadline)
+        self._sorted_slots = None
 
     def unmap_vcpu(self, vcpu: VCPU) -> None:
         """Remove *vcpu*'s slot (VM teardown)."""
         self._slots.pop(vcpu.uid, None)
+        self._sorted_slots = None
+
+    def _entries(self) -> List[Tuple[int, VCPU, DeadlineProvider]]:
+        entries = self._sorted_slots
+        if entries is None:
+            slots = self._slots
+            entries = self._sorted_slots = [
+                (uid, *slots[uid]) for uid in sorted(slots)
+            ]
+        return entries
 
     def freeze(self, now: int, until: int) -> None:
         """Stop propagating guest updates until *until* (fault injection).
@@ -74,20 +89,40 @@ class SharedMemoryPage:
 
     def read_all(self, now: int) -> List[Tuple[VCPU, int]]:
         """All (vcpu, deadline) pairs with a published deadline, by uid order."""
+        entries = self._entries()
+        self.reads += len(entries)
         frozen = now < self._frozen_until
         out: List[Tuple[VCPU, int]] = []
-        for uid in sorted(self._slots):
-            vcpu, provider = self._slots[uid]
-            deadline = self._frozen_values.get(uid) if frozen else provider(now)
-            self.reads += 1
-            if deadline is not None:
-                out.append((vcpu, deadline))
+        if frozen:
+            frozen_values = self._frozen_values
+            for uid, vcpu, _ in entries:
+                deadline = frozen_values.get(uid)
+                if deadline is not None:
+                    out.append((vcpu, deadline))
+        else:
+            for _, vcpu, provider in entries:
+                deadline = provider(now)
+                if deadline is not None:
+                    out.append((vcpu, deadline))
         return out
 
     def earliest(self, now: int) -> Optional[int]:
         """The minimum published deadline — the next global deadline input."""
-        deadlines = [d for _, d in self.read_all(now)]
-        return min(deadlines) if deadlines else None
+        entries = self._entries()
+        self.reads += len(entries)
+        best: Optional[int] = None
+        if now < self._frozen_until:
+            frozen_values = self._frozen_values
+            for uid, _, _ in entries:
+                deadline = frozen_values.get(uid)
+                if deadline is not None and (best is None or deadline < best):
+                    best = deadline
+        else:
+            for _, _, provider in entries:
+                deadline = provider(now)
+                if deadline is not None and (best is None or deadline < best):
+                    best = deadline
+        return best
 
     @property
     def size_bytes(self) -> int:

@@ -163,3 +163,21 @@ def run_fig1(duration_ns: int = sec(30)) -> Dict[str, Fig1Result]:
         "uncoordinated": run_uncoordinated(duration_ns),
         "rtvirt": run_rtvirt(duration_ns),
     }
+
+
+class Fig1Combined:
+    """Both halves of Figure 1 as one printable result."""
+
+    def __init__(self, results: Dict[str, Fig1Result]) -> None:
+        self.results = results
+
+    def rows(self) -> List[dict]:
+        return [row for r in self.results.values() for row in r.rows()]
+
+    def summary(self) -> str:
+        return "\n\n".join(r.summary() for r in self.results.values())
+
+
+def run_fig1_combined(duration_ns: int = sec(30)) -> Fig1Combined:
+    """The registry-facing runner: both halves, one result object."""
+    return Fig1Combined(run_fig1(duration_ns=duration_ns))

@@ -4,6 +4,15 @@ Four VMs with four VCPUs each host rt-app RTAs parameterized from VLC
 (Table 3).  RTAs arrive and leave dynamically for the whole experiment;
 RTVirt admits them online through the hypercall and re-partitions.
 
+The experiment is defined as a *partitioned* host: each VM runs on its
+own ``ceil(pcpu_count / vm_count)``-PCPU partition with its own derived
+churn RNG stream (``churn-vm{i}``), so the VMs are independent by
+construction.  :func:`run_fig4` composes :func:`run_fig4_vm` over the
+partitions and :func:`assemble_fig4` merges the parts — the exact same
+code path the parallel runner uses, which makes the sharded run
+byte-identical to the serial one by construction rather than by
+bookkeeping.
+
 The paper's findings, which this harness reports:
 
 - out of the 54 RTAs run over 10 minutes, only five had deadline misses
@@ -24,6 +33,10 @@ from ..simcore.time import SEC, sec
 from ..simcore.trace import Trace
 from ..workloads.video import TABLE3_PROFILES, DynamicStreamingWorkload, SessionRecord
 from .common import format_table
+
+#: VM partitions of the Figure 4 host (the paper's four streaming VMs).
+#: The work-unit plan shards along this axis.
+FIG4_VM_COUNT = 4
 
 
 @dataclass
@@ -71,6 +84,102 @@ class Fig4Result:
         return "\n".join(lines)
 
 
+@dataclass
+class Fig4VmPart:
+    """One VM partition's outcome — the picklable unit of the fig4 plan."""
+
+    vm_name: str
+    duration_ns: int
+    bucket_ns: int
+    sessions: List[SessionRecord]
+    #: [(bucket_start_ns, cpu_allocation_fraction)] for this VM.
+    series: List[Tuple[int, float]]
+    #: Peak concurrent bandwidth demand (static-provisioning baseline).
+    peak: float
+
+
+def run_fig4_vm(
+    vm_index: int,
+    duration_ns: int = sec(600),
+    pcpu_count: int = 15,
+    seed: int = 11,
+    vm_count: int = 4,
+    vcpus_per_vm: int = 4,
+    bucket_ns: int = sec(5),
+) -> Fig4VmPart:
+    """Run one VM's partition of the dynamic streaming experiment.
+
+    The VM gets ``ceil(pcpu_count / vm_count)`` PCPUs of its own and the
+    churn stream ``churn-vm{vm_index+1}`` derived from *seed* — both
+    functions of the partition only, so the parts compose identically
+    whether executed in one process or many.
+    """
+    if not 0 <= vm_index < vm_count:
+        raise ValueError(f"vm_index {vm_index} outside [0, {vm_count})")
+    partition_pcpus = -(-pcpu_count // vm_count)  # ceil
+    streams = RandomStreams(seed)
+    trace = Trace()
+    system = RTVirtSystem(pcpu_count=partition_pcpus, trace=trace)
+    workload = DynamicStreamingWorkload(
+        system,
+        streams.stream(f"churn-vm{vm_index + 1}"),
+        vm_count=1,
+        vcpus_per_vm=vcpus_per_vm,
+        duration_ns=duration_ns,
+        vm_start=vm_index,
+    ).start()
+    system.run(duration_ns)
+    system.finalize()
+
+    (vm,) = workload.vms
+    merged: Dict[int, int] = {}
+    for vcpu in vm.vcpus:
+        for start, usage in trace.usage_series(vcpu.name, 0, duration_ns, bucket_ns):
+            merged[start] = merged.get(start, 0) + usage
+    series = [(start, merged[start] / bucket_ns) for start in sorted(merged)]
+
+    return Fig4VmPart(
+        vm_name=vm.name,
+        duration_ns=duration_ns,
+        bucket_ns=bucket_ns,
+        sessions=workload.sessions,
+        series=series,
+        peak=_peak_demand(workload.sessions),
+    )
+
+
+def assemble_fig4(parts: List[Fig4VmPart]) -> Fig4Result:
+    """Rebuild the serial :class:`Fig4Result` from per-VM parts.
+
+    The serial runner itself goes through here, so the parallel runner's
+    reassembly is the same code producing the same bytes.
+    """
+    duration_ns = parts[0].duration_ns if parts else 0
+    bucket_ns = parts[0].bucket_ns if parts else 1
+    sessions = [s for part in parts for s in part.sessions]
+    admitted = [s for s in sessions if s.admitted]
+    ratios = [s.stats.miss_ratio for s in admitted if s.stats.decided]
+    series = {part.vm_name: part.series for part in parts}
+    mean_dynamic = (
+        sum(u for part in parts for _, u in part.series) * bucket_ns / duration_ns
+        if duration_ns
+        else 0.0
+    )
+    peak = 0.0
+    for part in parts:
+        peak += part.peak
+    return Fig4Result(
+        duration_ns=duration_ns,
+        sessions=sessions,
+        worst_miss_ratio=max(ratios) if ratios else 0.0,
+        total_released=sum(s.stats.released for s in admitted),
+        total_missed=sum(s.stats.missed for s in admitted),
+        allocation_series=series,
+        mean_dynamic_cpus=mean_dynamic,
+        static_peak_cpus=peak,
+    )
+
+
 def run_fig4(
     duration_ns: int = sec(600),
     pcpu_count: int = 15,
@@ -79,52 +188,20 @@ def run_fig4(
     vcpus_per_vm: int = 4,
     bucket_ns: int = sec(5),
 ) -> Fig4Result:
-    """Run the dynamic streaming experiment under RTVirt."""
-    streams = RandomStreams(seed)
-    trace = Trace()
-    system = RTVirtSystem(pcpu_count=pcpu_count, trace=trace)
-    workload = DynamicStreamingWorkload(
-        system,
-        streams.stream("churn"),
-        vm_count=vm_count,
-        vcpus_per_vm=vcpus_per_vm,
-        duration_ns=duration_ns,
-    ).start()
-    system.run(duration_ns)
-    system.finalize()
-
-    series: Dict[str, List[Tuple[int, float]]] = {}
-    for vm in workload.vms:
-        merged: Dict[int, int] = {}
-        for vcpu in vm.vcpus:
-            for start, usage in trace.usage_series(vcpu.name, 0, duration_ns, bucket_ns):
-                merged[start] = merged.get(start, 0) + usage
-        series[vm.name] = [
-            (start, merged[start] / bucket_ns) for start in sorted(merged)
+    """Run the dynamic streaming experiment under RTVirt (all partitions)."""
+    return assemble_fig4(
+        [
+            run_fig4_vm(
+                vm_index,
+                duration_ns=duration_ns,
+                pcpu_count=pcpu_count,
+                seed=seed,
+                vm_count=vm_count,
+                vcpus_per_vm=vcpus_per_vm,
+                bucket_ns=bucket_ns,
+            )
+            for vm_index in range(vm_count)
         ]
-
-    # Static provisioning: each VM permanently reserves its peak concurrent
-    # demand; dynamic: the time-average of what RTVirt actually allocated.
-    peak = 0.0
-    for vm in workload.vms:
-        vm_sessions = [s for s in workload.sessions if s.name.startswith(vm.name)]
-        peak += _peak_demand(vm_sessions)
-    mean_dynamic = (
-        sum(u for pts in series.values() for _, u in pts) * bucket_ns / duration_ns
-        if duration_ns
-        else 0.0
-    )
-
-    admitted = workload.admitted_sessions()
-    return Fig4Result(
-        duration_ns=duration_ns,
-        sessions=workload.sessions,
-        worst_miss_ratio=workload.worst_miss_ratio(),
-        total_released=sum(s.stats.released for s in admitted),
-        total_missed=sum(s.stats.missed for s in admitted),
-        allocation_series=series,
-        mean_dynamic_cpus=mean_dynamic,
-        static_peak_cpus=peak,
     )
 
 

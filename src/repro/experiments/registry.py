@@ -31,10 +31,12 @@ from . import (
 # Full-length run parameters.  The serial runners below and the parallel
 # runner's work-unit plans (repro.runner.workunits) both read these, so
 # the two paths cannot drift apart.
+FIG1_DURATION_NS = sec(30)
 TABLE1_DURATION_NS = sec(20)
 SPORADIC_REQUESTS = 30
 SPORADIC_SEED = 7
 FIG4_DURATION_NS = sec(120)
+FIG4_SEED = 11
 TABLE4_DURATION_NS = sec(40)
 TABLE4_SEED = 3
 FIG5A_DURATION_NS = sec(40)
@@ -64,26 +66,13 @@ class ExperimentEntry:
     smoke: Callable[[], object]
 
 
-def _fig1(duration_ns: int = sec(30)):
-    results = fig1_motivation.run_fig1(duration_ns=duration_ns)
-    # Combine both halves into one printable result.
-    class _Combined:
-        def summary(self) -> str:
-            return "\n\n".join(r.summary() for r in results.values())
-
-        def rows(self) -> List[dict]:
-            return [row for r in results.values() for row in r.rows()]
-
-    return _Combined()
-
-
 REGISTRY: Dict[str, ExperimentEntry] = {
     "fig1": ExperimentEntry(
         "fig1",
         "Figure 1",
         "Motivation: uncoordinated two-level EDF misses RTA deadlines; RTVirt does not",
-        _fig1,
-        smoke=lambda: _fig1(duration_ns=sec(2)),
+        lambda: fig1_motivation.run_fig1_combined(duration_ns=FIG1_DURATION_NS),
+        smoke=lambda: fig1_motivation.run_fig1_combined(duration_ns=sec(2)),
     ),
     "table1": ExperimentEntry(
         "table1",
@@ -123,8 +112,8 @@ REGISTRY: Dict[str, ExperimentEntry] = {
         "fig4",
         "Figure 4 / Table 3",
         "Dynamic video-streaming RTAs with online admission",
-        lambda: fig4_dynamic.run_fig4(duration_ns=FIG4_DURATION_NS),
-        smoke=lambda: fig4_dynamic.run_fig4(duration_ns=sec(20)),
+        lambda: fig4_dynamic.run_fig4(duration_ns=FIG4_DURATION_NS, seed=FIG4_SEED),
+        smoke=lambda: fig4_dynamic.run_fig4(duration_ns=sec(20), seed=FIG4_SEED),
     ),
     "table4": ExperimentEntry(
         "table4",

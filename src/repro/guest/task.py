@@ -235,8 +235,12 @@ class Task:
 
     def earliest_pending_deadline(self) -> Optional[int]:
         """Earliest deadline among pending jobs, None when idle/undeadlined."""
-        deadlines = [j.deadline for j in self.pending if j.deadline is not None]
-        return min(deadlines) if deadlines else None
+        best: Optional[int] = None
+        for job in self.pending:
+            deadline = job.deadline
+            if deadline is not None and (best is None or deadline < best):
+                best = deadline
+        return best
 
     def next_worst_case_deadline(self, now: int) -> Optional[int]:
         """The next *scheduling boundary* a future job of this task imposes.

@@ -35,6 +35,9 @@ class VCPU:
         self.name = f"{vm.name}.vcpu{index}"
         #: Idle-report event name, formatted once instead of per report.
         self.idle_name = f"idle:{self.name}"
+        #: Reservation-piece event name (DP-WRAP), formatted once instead
+        #: of per slice — the layout arms one event per piece.
+        self.piece_name = f"piece:{self.name}"
         self.tasks: List[Task] = []
         # Host-visible reservation parameters (set via the cross-layer
         # interface under RTVirt, or statically for the baselines).
@@ -142,15 +145,17 @@ class VCPU:
         (paper §3.3: exact for periodic tasks, the minimum-inter-arrival
         bound for sporadic tasks).  None when no RT task is pinned.
         """
-        candidates: List[int] = []
-        for task in self.rt_tasks():
+        best: Optional[int] = None
+        for task in self.tasks:
+            if task.kind is TaskKind.BACKGROUND:
+                continue
             pending = task.earliest_pending_deadline()
-            if pending is not None:
-                candidates.append(pending)
+            if pending is not None and (best is None or pending < best):
+                best = pending
             upcoming = task.next_worst_case_deadline(now)
-            if upcoming is not None:
-                candidates.append(upcoming)
-        return min(candidates) if candidates else None
+            if upcoming is not None and (best is None or upcoming < best):
+                best = upcoming
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<VCPU {self.name} bw={self.bandwidth} tasks={len(self.tasks)}>"

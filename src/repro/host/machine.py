@@ -572,23 +572,28 @@ class Machine:
             for pcpu in self.pcpus:
                 self._refresh_pcpu(pcpu, now)
             return
-        if not self._dirty_pcpus:
+        dirty = self._dirty_pcpus
+        if not dirty:
             return
         last = -1
         while True:
-            ahead = [i for i in self._dirty_pcpus if i > last]
-            if not ahead:
+            # Min of the marks ahead of the scan front, in one pass and
+            # without a scratch list (this runs after every event batch).
+            index = -1
+            for i in dirty:
+                if i > last and (index < 0 or i < index):
+                    index = i
+            if index < 0:
                 break
-            index = min(ahead)
-            self._dirty_pcpus.discard(index)
+            dirty.discard(index)
             last = index
             self._refresh_pcpu(self.pcpus[index], now)
             # Marks the processing itself put on this PCPU (a retire
             # during its sync, a guest-switch overhead extension) are
             # consumed by the pick/re-arm that follows them; drop them
             # so they do not trigger a pointless kicked follow-up.
-            self._dirty_pcpus.discard(index)
-        if self._dirty_pcpus:
+            dirty.discard(index)
+        if dirty:
             # Marks at or behind the scan front: handle next batch.
             self._request_refresh()
 

@@ -13,19 +13,24 @@ byte-identical to the serial ``registry.run`` path.
         print(exp.experiment_id, exp.wall_s)
 """
 
-from .cache import CACHE_DIR_NAME, ResultCache, code_salt
+from .cache import CACHE_DIR_NAME, ResultCache, clear_salt_caches, code_salt, unit_salt
+from .costs import COSTS_FILE_NAME, CostModel
 from .executor import ExperimentReport, RunReport, run_experiments
 from .workunits import ExperimentPlan, WorkUnit, build_plans, plan_for
 
 __all__ = [
     "CACHE_DIR_NAME",
+    "COSTS_FILE_NAME",
+    "CostModel",
     "ExperimentPlan",
     "ExperimentReport",
     "ResultCache",
     "RunReport",
     "WorkUnit",
     "build_plans",
+    "clear_salt_caches",
     "code_salt",
     "plan_for",
     "run_experiments",
+    "unit_salt",
 ]

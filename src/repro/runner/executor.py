@@ -16,10 +16,13 @@ used and units re-import :mod:`repro` from the worker's interpreter.
 
 Two scheduling rules keep the pool from losing to the serial path:
 
-- Units are submitted **longest first** (LPT order, from the measured
-  cost model in :mod:`repro.runner.workunits`), so a straggler like
-  fig5b's heaviest scheduler shard starts immediately instead of
-  serialising behind cheap units at the tail of the run.
+- Units are submitted **longest first** (LPT order).  The estimates
+  come from the measured cost model persisted as ``costs.json``
+  alongside the cache (:mod:`repro.runner.costs`), refreshed after
+  every run; the hand-recorded table in :mod:`repro.runner.workunits`
+  seeds the first run.  A straggler like fig5b's heaviest scheduler
+  shard therefore starts immediately instead of serialising behind
+  cheap units at the tail of the run.
 - The worker count is capped at the host's CPU count.  When that cap
   (or the miss count) leaves a single effective worker, the pool is
   skipped entirely and units run in-process — ``--jobs N`` on a
@@ -39,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache, disabled_cache
+from .costs import CostModel
 from .workunits import (
     ExperimentPlan,
     WorkUnit,
@@ -60,6 +64,8 @@ class ExperimentReport:
     #: Summed wall time of the units actually executed (cache hits cost 0);
     #: under ``jobs>1`` this is CPU-side cost, not elapsed time.
     unit_wall_s: float
+    #: Per-unit wall seconds in plan order (cache hits report 0.0).
+    unit_walls: Dict[str, float]
 
 
 @dataclass
@@ -107,6 +113,7 @@ def _execute_misses(
     misses: List[WorkUnit],
     jobs: int,
     echo: Optional[Callable[[str], None]],
+    measured: Optional[Dict[str, float]] = None,
 ) -> Dict[WorkUnit, Tuple[Any, float]]:
     """Run the uncached units, in-process or across the pool."""
     results: Dict[WorkUnit, Tuple[Any, float]] = {}
@@ -127,7 +134,7 @@ def _execute_misses(
         # irrelevant to output — assembly consumes parts by position.
         pending = {
             pool.submit(_timed_execute, unit): unit
-            for unit in ordered_by_cost(misses)
+            for unit in ordered_by_cost(misses, measured)
         }
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -175,6 +182,7 @@ def run_experiments(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     cache = cache if cache is not None else disabled_cache()
+    costs = CostModel.for_cache(cache)
     started = time.perf_counter()
 
     plans = build_plans(ids, seed=seed)
@@ -195,10 +203,14 @@ def run_experiments(
     if echo and cached_units:
         echo(f"cache: {len(cached_units)}/{len(all_units)} units reused")
 
-    for unit, (part, wall) in _execute_misses(misses, jobs, echo).items():
+    executed = _execute_misses(misses, jobs, echo, measured=costs.costs)
+    for unit, (part, wall) in executed.items():
         parts[unit] = part
         walls[unit] = wall
         cache.put(unit, part)
+    # Refresh the persisted cost model with this run's measurements, so
+    # the next run's LPT order schedules from this machine's real walls.
+    costs.record({unit.unit_id: wall for unit, (_, wall) in executed.items()})
 
     reports: List[ExperimentReport] = []
     for plan in plans:
@@ -211,10 +223,11 @@ def run_experiments(
                 units=len(plan.units),
                 cached_units=sum(1 for u in plan.units if u in cached_units),
                 unit_wall_s=sum(walls[u] for u in plan.units),
+                unit_walls={u.unit_id: walls[u] for u in plan.units},
             )
         )
 
-    return RunReport(
+    report = RunReport(
         reports=reports,
         wall_s=time.perf_counter() - started,
         jobs=jobs,
@@ -222,3 +235,14 @@ def run_experiments(
         cache_misses=cache.misses,
         cache_writes=cache.writes,
     )
+    cache.record_last_run(
+        {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "writes": cache.writes,
+            "jobs": jobs,
+            "wall_s": round(report.wall_s, 3),
+            "units": len(all_units),
+        }
+    )
+    return report

@@ -9,12 +9,13 @@ parts *in the parent process*.
 
 Two shapes of plan exist:
 
-- **Whole-experiment** plans have a single unit running
-  :func:`run_whole`, which executes ``registry.run(id)`` in the worker
-  and returns a plain ``{"rows", "summary"}`` payload (the rich result
+- **Whole-experiment** plans have a single unit calling the
+  experiment's own full-length runner (``_WHOLE_FNS``), stripped in the
+  worker to a plain ``{"rows", "summary"}`` payload (the rich result
   objects of monolithic experiments are not all picklable; their rows
   and summary always are, because the determinism harness JSON-encodes
-  them).
+  them).  Registry ids without a direct entry fall back to
+  :func:`run_whole`, which dispatches through the registry.
 - **Sharded** plans split an experiment along its independent axes
   (per group × framework, per scheduler, per scenario).  Each shard
   returns a small picklable part (``GroupRun``, ``SchedulerOutcome``,
@@ -36,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import registry
+from ..experiments.fig4_dynamic import FIG4_VM_COUNT, assemble_fig4
 from ..experiments.fig5_memcached import FIG5_SCHEDULERS, Fig5Result
 from ..experiments.robustness import ROBUSTNESS_SCHEDULERS, RobustnessResult
 from ..experiments.table1_periodic import Table1Result
@@ -52,6 +54,9 @@ class WorkUnit:
     unit_id: str
     fn: str  #: dotted path ``package.module:function`` (picklable reference)
     kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: strip the result to a ``{"rows", "summary"}`` payload in the worker
+    #: (monolithic experiments whose rich result objects may not pickle).
+    payload: bool = False
 
     def fingerprint(self, salt: str) -> str:
         """Content-addressed cache key: inputs + code-version salt."""
@@ -97,11 +102,22 @@ def resolve(fn_path: str) -> Callable[..., Any]:
 
 def execute_unit(unit: WorkUnit) -> Any:
     """Run one work unit (in whatever process this is) and return its part."""
-    return resolve(unit.fn)(**dict(unit.kwargs))
+    part = resolve(unit.fn)(**dict(unit.kwargs))
+    if unit.payload:
+        return {"rows": part.rows(), "summary": part.summary()}
+    return part
 
 
 def run_whole(experiment_id: str) -> Dict[str, Any]:
-    """Worker body for monolithic experiments: run and strip to a payload."""
+    """Worker body for monolithic experiments: run and strip to a payload.
+
+    Only the fallback path for registry ids without an entry in
+    ``_WHOLE_FNS`` uses this: its import closure (via the registry)
+    spans every experiment, so such units inherit the broadest possible
+    cache salt.  Known monolithic experiments point their unit ``fn``
+    straight at the experiment module instead, which keeps their cache
+    entries valid when an unrelated experiment changes.
+    """
     result = registry.run(experiment_id)
     return {"rows": result.rows(), "summary": result.summary()}
 
@@ -120,6 +136,10 @@ def _assemble_table1(parts: Sequence[Any]) -> Table1Result:
 
 def _assemble_table4(parts: Sequence[Any]) -> Table4Result:
     return Table4Result(dict(zip(TABLE4_SCHEDULERS, parts)))
+
+
+def _assemble_fig4(parts: Sequence[Any]):
+    return assemble_fig4(list(parts))
 
 
 def _assemble_fig5a(parts: Sequence[Any]) -> Fig5Result:
@@ -141,16 +161,18 @@ def _assemble_robustness(parts: Sequence[Any]) -> RobustnessResult:
 
 # -- cost model (parallel scheduling hints) -------------------------------------------
 
-#: Measured serial wall seconds per work unit (reference container, see
-#: ``BENCH_registry.json``'s accounting).  Purely a scheduling hint: the
-#: executor submits uncached units longest-first (LPT), so the heavy
-#: shards — fig5b's RTVirt run, the monolithic fig4 — start immediately
-#: instead of straggling behind a tail of sub-second units.  Staleness
-#: degrades balance, never correctness; assembly consumes parts by
-#: position regardless of completion order.
+#: Cold-start fallback: serial wall seconds per work unit as measured
+#: once on the reference container (see ``BENCH_registry.json``).  The
+#: executor prefers the *measured* costs persisted by
+#: :class:`repro.runner.costs.CostModel` (``costs.json`` alongside the
+#: cache, refreshed after every run); this table only seeds the very
+#: first run's LPT order, so the heavy shards — fig5b's RTVirt run, the
+#: fig4 partitions — start immediately instead of straggling behind a
+#: tail of sub-second units.  Staleness degrades balance, never
+#: correctness; assembly consumes parts by position regardless of
+#: completion order.
 _UNIT_COST_S: Dict[str, float] = {
-    "fig5b/RTVirt": 22.6,
-    "fig4/whole": 20.8,
+    "fig5b/RTVirt": 15.3,
     "fig5b/RT-Xen B": 9.6,
     "table6/Single-RTA": 9.5,
     "fig5a/RTVirt": 6.2,
@@ -159,6 +181,10 @@ _UNIT_COST_S: Dict[str, float] = {
     "fig5a/RT-Xen B": 3.0,
     "table4/RTVirt": 2.9,
     "fig5a/RT-Xen A": 2.7,
+    "fig4/vm2": 3.5,
+    "fig4/vm1": 1.6,
+    "fig4/vm3": 0.8,
+    "fig4/vm4": 0.8,
     "fig5b/Credit": 2.1,
     "fig5a/Credit": 1.6,
     "fig1/whole": 1.0,
@@ -175,28 +201,67 @@ _FAMILY_COST_S: Dict[str, float] = {"table1": 0.5, "sporadic": 0.2}
 _DEFAULT_COST_S = 0.15
 
 
-def estimated_cost_s(unit: WorkUnit) -> float:
-    """Expected serial seconds for *unit* (measured, with fallbacks)."""
+def estimated_cost_s(
+    unit: WorkUnit, measured: Optional[Dict[str, float]] = None
+) -> float:
+    """Expected serial seconds for *unit*.
+
+    Precedence: *measured* (this machine's persisted ``costs.json``),
+    then the hand-recorded reference table, then per-family and global
+    defaults.
+    """
+    if measured is not None:
+        cost = measured.get(unit.unit_id)
+        if cost is not None:
+            return cost
     cost = _UNIT_COST_S.get(unit.unit_id)
     if cost is not None:
         return cost
     return _FAMILY_COST_S.get(unit.experiment_id, _DEFAULT_COST_S)
 
 
-def ordered_by_cost(units: Sequence[WorkUnit]) -> List[WorkUnit]:
+def ordered_by_cost(
+    units: Sequence[WorkUnit], measured: Optional[Dict[str, float]] = None
+) -> List[WorkUnit]:
     """*units* longest-first; ties break on unit id (deterministic)."""
-    return sorted(units, key=lambda u: (-estimated_cost_s(u), u.unit_id))
+    return sorted(
+        units, key=lambda u: (-estimated_cost_s(u, measured), u.unit_id)
+    )
 
 
 # -- plan construction ----------------------------------------------------------------
 
 
+#: Direct worker entry points for monolithic experiments, mirroring the
+#: registry's full-length runners (same callables, same parameters).
+#: Pointing the unit ``fn`` at the experiment module — instead of the
+#: registry-dispatching :func:`run_whole` — gives these units the narrow
+#: import-closure cache salt of their own harness.
+_WHOLE_FNS: Dict[str, Tuple[str, Tuple[Tuple[str, Any], ...]]] = {
+    "fig1": (
+        "repro.experiments.fig1_motivation:run_fig1_combined",
+        (("duration_ns", registry.FIG1_DURATION_NS),),
+    ),
+    "fig3": ("repro.experiments.fig3_bandwidth:run_fig3", ()),
+    "table2": ("repro.experiments.table2_config:run_table2", ()),
+}
+
+
 def _whole_plan(experiment_id: str) -> ExperimentPlan:
+    direct = _WHOLE_FNS.get(experiment_id)
+    if direct is not None:
+        fn, kwargs = direct
+        payload = True  # strip the rich result to rows/summary in the worker
+    else:  # pragma: no cover - safety net for future registry entries
+        fn = "repro.runner.workunits:run_whole"
+        kwargs = (("experiment_id", experiment_id),)
+        payload = False  # run_whole already returns the payload dict
     unit = WorkUnit(
         experiment_id=experiment_id,
         unit_id=f"{experiment_id}/whole",
-        fn="repro.runner.workunits:run_whole",
-        kwargs=(("experiment_id", experiment_id),),
+        fn=fn,
+        kwargs=kwargs,
+        payload=payload,
     )
     return ExperimentPlan(experiment_id, (unit,), _assemble_payload)
 
@@ -259,6 +324,23 @@ def _table4_plan() -> ExperimentPlan:
         for scheduler in TABLE4_SCHEDULERS
     )
     return ExperimentPlan("table4", units, _assemble_table4)
+
+
+def _fig4_plan() -> ExperimentPlan:
+    units = tuple(
+        WorkUnit(
+            experiment_id="fig4",
+            unit_id=f"fig4/vm{vm_index + 1}",
+            fn="repro.experiments.fig4_dynamic:run_fig4_vm",
+            kwargs=(
+                ("vm_index", vm_index),
+                ("duration_ns", registry.FIG4_DURATION_NS),
+                ("seed", registry.FIG4_SEED),
+            ),
+        )
+        for vm_index in range(FIG4_VM_COUNT)
+    )
+    return ExperimentPlan("fig4", units, _assemble_fig4)
 
 
 def _fig5_plan(experiment_id: str) -> ExperimentPlan:
@@ -332,6 +414,7 @@ _SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
     "table1": _table1_plan,
     "sporadic": _sporadic_plan,
     "table4": _table4_plan,
+    "fig4": _fig4_plan,
     "fig5a": lambda: _fig5_plan("fig5a"),
     "fig5b": lambda: _fig5_plan("fig5b"),
     "table6": _table6_plan,

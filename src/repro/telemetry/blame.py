@@ -36,9 +36,11 @@ snapshots in canonical unit order is byte-identical to a single-stream
 run — the same contract PR 4's aggregators honour, gated by
 ``tools/check_determinism.py --blame``.
 
-Like :mod:`repro.telemetry.probe`, the plan half of this module pulls
-in the scenario/runner layers, so those imports stay inside the
-functions that need them.
+This module is the *pure* half: it depends only on spans.  The sharded
+sweep that fans robustness cells out over the runner lives in
+:mod:`repro.telemetry.blame_plan`, kept separate (and unexported from
+the package ``__init__``) so the core simulator's telemetry imports
+never reach the scenario/runner layers.
 """
 
 from __future__ import annotations
@@ -57,10 +59,6 @@ CAUSES = (
     "guest_queueing",
     "overload",
 )
-
-#: Blame sweeps reuse the robustness suite's defaults.
-BLAME_DURATION_NS = 2_000_000_000
-BLAME_SEED = 11
 
 
 def _classify_preempted(
@@ -211,130 +209,3 @@ def analyze_spans(builder: SpanBuilder) -> Tuple[BlameReport, List[dict]]:
         )
     return report, misses
 
-
-# -- the sharded blame sweep (runner plan) --------------------------------------------
-
-
-def run_blame_shard(
-    fault: str,
-    scheduler: str,
-    duration_ns: int = BLAME_DURATION_NS,
-    seed: int = BLAME_SEED,
-) -> dict:
-    """Worker body: one robustness cell with spans attached and blamed."""
-    from ..experiments.robustness import run_robustness_case
-
-    holder: Dict[str, SpanBuilder] = {}
-
-    def attach(system) -> None:
-        holder["spans"] = SpanBuilder().attach(system.machine)
-
-    row = run_robustness_case(
-        fault,
-        scheduler,
-        duration_ns,
-        seed,
-        check_invariants=False,
-        attach=attach,
-    )
-    builder = holder["spans"].finalize()
-    report, misses = analyze_spans(builder)
-    return {
-        "fault": fault,
-        "scheduler": scheduler,
-        "released": row["released"],
-        "missed": row["missed"],
-        "blame": report.snapshot(),
-        "misses": misses,
-    }
-
-
-class BlameSweep:
-    """Assembled blame shards: per-cell rows plus a merged report."""
-
-    def __init__(self, parts: Sequence[dict]) -> None:
-        self.parts = list(parts)  # canonical unit order
-        self.merged = BlameReport.merge([p["blame"] for p in self.parts])
-
-    def rows(self) -> List[dict]:
-        rows = []
-        for part in self.parts:
-            blame = part["blame"]
-            top = "-"
-            if blame["per_cause"]:
-                top = max(
-                    blame["per_cause"],
-                    key=lambda c: (blame["per_cause"][c]["lost_ns"], c),
-                )
-            rows.append(
-                {
-                    "fault": part["fault"],
-                    "scheduler": part["scheduler"],
-                    "released": part["released"],
-                    "missed": part["missed"],
-                    "observed": blame["observed"],
-                    "explained": blame["explained"],
-                    "lost_ms": round(
-                        sum(e["lost_ns"] for e in blame["per_cause"].values())
-                        / 1e6,
-                        3,
-                    ),
-                    "top_cause": top,
-                }
-            )
-        return rows
-
-    def summary(self) -> str:
-        from ..report.ascii import render_blame_table
-
-        lines = ["blame sweep (spans + root-cause attribution):"]
-        for row in self.rows():
-            lines.append(
-                f"  {row['fault']:<10} {row['scheduler']:<7} "
-                f"missed={row['missed']:>4} "
-                f"explained={row['explained']}/{row['observed']} "
-                f"lost={row['lost_ms']:.1f}ms top={row['top_cause']}"
-            )
-        lines.append("")
-        lines.append(render_blame_table(self.merged.snapshot()))
-        return "\n".join(lines)
-
-
-def assemble_blame(parts: Sequence[dict]) -> BlameSweep:
-    """Module-level assembly function (the executor requires one)."""
-    return BlameSweep(parts)
-
-
-def blame_plan(
-    faults: Optional[Sequence[str]] = None,
-    schedulers: Optional[Sequence[str]] = None,
-    duration_ns: int = BLAME_DURATION_NS,
-    seed: int = BLAME_SEED,
-):
-    """A blame sweep as an :class:`ExperimentPlan` (not registry-backed)."""
-    from ..experiments.robustness import (
-        ROBUSTNESS_FAULTS,
-        ROBUSTNESS_SCHEDULERS,
-    )
-    from ..runner.workunits import ExperimentPlan, WorkUnit
-
-    faults = tuple(faults) if faults is not None else ROBUSTNESS_FAULTS
-    schedulers = (
-        tuple(schedulers) if schedulers is not None else ROBUSTNESS_SCHEDULERS
-    )
-    units = tuple(
-        WorkUnit(
-            experiment_id="blame_sweep",
-            unit_id=f"blame_sweep/{fault}/{scheduler}",
-            fn="repro.telemetry.blame:run_blame_shard",
-            kwargs=(
-                ("fault", fault),
-                ("scheduler", scheduler),
-                ("duration_ns", duration_ns),
-                ("seed", seed),
-            ),
-        )
-        for fault in faults
-        for scheduler in schedulers
-    )
-    return ExperimentPlan("blame_sweep", units, assemble_blame)

@@ -126,7 +126,11 @@ class DynamicStreamingWorkload:
         duration_ns: int = 600 * SEC,
         min_interval_ns: int = 10 * SEC,
         max_interval_ns: int = 360 * SEC,
+        vm_start: int = 0,
     ) -> None:
+        """*vm_start* offsets the VM numbering (``stream-vm{vm_start+1}``
+        onward), so a decomposed run — one single-VM workload per system —
+        reproduces the names the combined workload would have used."""
         self.system = system
         self.engine: Engine = system.engine
         self.rng = rng
@@ -134,7 +138,7 @@ class DynamicStreamingWorkload:
         self.min_interval_ns = min_interval_ns
         self.max_interval_ns = max_interval_ns
         self.vms: List[VM] = [
-            system.create_vm(f"stream-vm{i + 1}", vcpu_count=vcpus_per_vm)
+            system.create_vm(f"stream-vm{vm_start + i + 1}", vcpu_count=vcpus_per_vm)
             for i in range(vm_count)
         ]
         self.vcpus_per_vm = vcpus_per_vm

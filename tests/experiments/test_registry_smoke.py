@@ -22,6 +22,39 @@ def test_registry_entry_smoke(experiment_id):
     assert isinstance(summary, str) and summary.strip()
 
 
+class TestExpandIds:
+    """Glob expansion backing ``run-all --only`` and the tool gates."""
+
+    def test_plain_ids_pass_through(self):
+        assert registry.expand_ids(["fig3", "table2"]) == ["fig3", "table2"]
+
+    def test_glob_expands_in_paper_order(self):
+        assert registry.expand_ids(["robustness_*"]) == [
+            "robustness_pcpu_fail",
+            "robustness_vm_churn",
+            "robustness_surge",
+            "robustness_hypercall",
+            "robustness_jitter",
+        ]
+
+    def test_question_mark_glob(self):
+        assert registry.expand_ids(["fig5?"]) == ["fig5a", "fig5b"]
+
+    def test_mixed_patterns_deduplicate(self):
+        assert registry.expand_ids(["fig5b", "fig5*", "fig5b"]) == [
+            "fig5b",
+            "fig5a",
+        ]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            registry.expand_ids(["nope"])
+
+    def test_unmatched_glob_raises(self):
+        with pytest.raises(KeyError):
+            registry.expand_ids(["nope_*"])
+
+
 def test_smoke_variants_differ_from_full_runners():
     """Smoke runners must stay cheap: they may not be the full runner
     for the simulation-heavy entries."""

@@ -135,3 +135,120 @@ class TestCodeSalt:
         salt = code_salt()
         assert len(salt) == 64
         int(salt, 16)
+
+
+OTHER_UNITS = tuple(
+    WorkUnit(
+        experiment_id=experiment_id,
+        unit_id=f"{experiment_id}/whole",
+        fn="repro.runner.workunits:run_whole",
+        kwargs=(("experiment_id", experiment_id),),
+    )
+    for experiment_id in ("fig3", "fig1")
+)
+
+
+class TestMaintenance:
+    def test_stats_on_missing_dir(self, tmp_path):
+        assert make_cache(tmp_path).stats() == {"entries": 0, "bytes": 0}
+
+    def test_entries_and_stats(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part-a")
+        cache.put(OTHER_UNITS[0], "part-b")
+        entries = cache.entries()
+        assert len(entries) == 2
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] == sum(size for _, size, _ in entries)
+        assert stats["bytes"] > 0
+
+    def test_clear(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part-a")
+        cache.put(OTHER_UNITS[0], "part-b")
+        assert cache.clear() == 2
+        assert cache.stats() == {"entries": 0, "bytes": 0}
+        # Empty fan-out directories are swept too.
+        assert all(
+            not os.path.isdir(os.path.join(cache.path, name))
+            for name in os.listdir(cache.path)
+        )
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for index, unit in enumerate((UNIT,) + OTHER_UNITS):
+            cache.put(unit, "part")
+            entry = cache._entry_path(cache.key(unit))
+            stamp = 1_000 + index
+            os.utime(entry, (stamp, stamp))
+        newest = cache._entry_path(cache.key(OTHER_UNITS[-1]))
+        keep = os.stat(newest).st_size
+        removed, remaining = cache.prune(max_bytes=keep)
+        assert removed == 2
+        assert remaining == keep
+        assert [path for path, _, _ in cache.entries()] == [newest]
+
+    def test_prune_within_budget_removes_nothing(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part")
+        assert cache.prune(max_bytes=1 << 30) == (0, cache.stats()["bytes"])
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part")
+        cache.put(OTHER_UNITS[0], "part")
+        removed, remaining = cache.prune(max_bytes=0)
+        assert (removed, remaining) == (2, 0)
+
+    def test_prune_rejects_negative_budget(self, tmp_path):
+        with pytest.raises(ValueError):
+            make_cache(tmp_path).prune(max_bytes=-1)
+
+    def test_hit_refreshes_entry_mtime(self, tmp_path):
+        """LRU honesty: a read must count as recent use."""
+        cache = make_cache(tmp_path)
+        cache.put(UNIT, "part")
+        entry = cache._entry_path(cache.key(UNIT))
+        os.utime(entry, (1_000, 1_000))
+        assert cache.get(UNIT)[0]
+        assert os.stat(entry).st_mtime > 1_000
+
+
+class TestLastRun:
+    def test_round_trip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.record_last_run({"hits": 3, "misses": 1, "wall_s": 2.5})
+        assert make_cache(tmp_path).last_run() == {
+            "hits": 3,
+            "misses": 1,
+            "wall_s": 2.5,
+        }
+
+    def test_missing_is_none(self, tmp_path):
+        assert make_cache(tmp_path).last_run() is None
+
+    def test_corrupt_is_none(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.record_last_run({"hits": 1})
+        from repro.runner.cache import LAST_RUN_FILE_NAME
+
+        with open(os.path.join(cache.path, LAST_RUN_FILE_NAME), "w") as fh:
+            fh.write("not json")
+        assert cache.last_run() is None
+
+    def test_non_dict_payload_is_none(self, tmp_path):
+        cache = make_cache(tmp_path)
+        from repro.runner.cache import LAST_RUN_FILE_NAME
+
+        os.makedirs(cache.path, exist_ok=True)
+        with open(os.path.join(cache.path, LAST_RUN_FILE_NAME), "w") as fh:
+            fh.write("[1, 2]")
+        assert cache.last_run() is None
+
+    def test_disabled_cache_never_writes(self, tmp_path):
+        cache = ResultCache(
+            path=str(tmp_path / "cache"), enabled=False, salt=""
+        )
+        cache.record_last_run({"hits": 1})
+        assert not os.path.exists(cache.path)

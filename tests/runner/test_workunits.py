@@ -33,6 +33,7 @@ class TestPlanShape:
             ("table1", 12),
             ("sporadic", 12),
             ("table4", 3),
+            ("fig4", 4),
             ("fig5a", 4),
             ("fig5b", 4),
             ("table6", 3),
@@ -95,6 +96,24 @@ class TestShardAssemblyEquivalence:
         assert assembled.rows() == serial.rows()
         assert assembled.summary() == serial.summary()
 
+    def test_fig4(self):
+        from repro.experiments.fig4_dynamic import (
+            FIG4_VM_COUNT,
+            assemble_fig4,
+            run_fig4,
+            run_fig4_vm,
+        )
+
+        duration = sec(2)
+        parts = [
+            run_fig4_vm(vm_index, duration_ns=duration)
+            for vm_index in range(FIG4_VM_COUNT)
+        ]
+        assembled = assemble_fig4(parts)
+        serial = run_fig4(duration_ns=duration)
+        assert assembled.rows() == serial.rows()
+        assert assembled.summary() == serial.summary()
+
     def test_table4(self):
         from repro.experiments.table4_dedicated import (
             TABLE4_SCHEDULERS,
@@ -141,6 +160,30 @@ class TestShardAssemblyEquivalence:
         serial = run_table6(duration, analyze_rtxen=False)
         assert assembled.rows() == serial.rows()
         assert assembled.summary() == serial.summary()
+
+
+class TestWholePlans:
+    """Monolithic experiments bypass the registry-dispatching fallback."""
+
+    def test_direct_fns_point_at_experiment_modules(self):
+        for experiment_id, module in (
+            ("fig1", "repro.experiments.fig1_motivation"),
+            ("fig3", "repro.experiments.fig3_bandwidth"),
+            ("table2", "repro.experiments.table2_config"),
+        ):
+            (unit,) = plan_for(experiment_id).units
+            assert unit.fn.startswith(f"{module}:")
+            assert unit.payload  # stripped to rows/summary in the worker
+
+    def test_sharded_units_never_strip(self):
+        for unit in plan_for("fig4").units:
+            assert not unit.payload
+
+    def test_payload_flag_not_in_fingerprint(self):
+        """Payload stripping is an execution detail, not a cache input."""
+        plain = WorkUnit("fig3", "fig3/whole", "m:f", payload=False)
+        stripped = WorkUnit("fig3", "fig3/whole", "m:f", payload=True)
+        assert plain.fingerprint("s") == stripped.fingerprint("s")
 
 
 class TestExecuteUnit:

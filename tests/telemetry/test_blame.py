@@ -8,9 +8,9 @@ from repro.telemetry.blame import (
     CAUSES,
     analyze_spans,
     attribute_miss,
-    blame_plan,
     primary_cause,
 )
+from repro.telemetry.blame_plan import blame_plan
 
 
 def canonical(snapshot) -> str:
@@ -170,7 +170,7 @@ class TestBlamePlan:
             "blame_sweep/pcpu_fail/Credit",
         ]
         for unit in plan.units:
-            assert unit.fn == "repro.telemetry.blame:run_blame_shard"
+            assert unit.fn == "repro.telemetry.blame_plan:run_blame_shard"
             assert dict(unit.kwargs)["seed"] == 3
 
     def test_sharded_sweep_runs_and_explains(self):

@@ -81,6 +81,64 @@ class TestRun:
             main([])
 
 
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert "no recorded run" in out
+
+    def test_stats_after_a_run(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "last run: 0 hits, 1 misses, 1 writes" in out
+
+    def test_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        main(["cache", "stats", "--cache-dir", cache_dir])
+        assert "entries: 0" in capsys.readouterr().out
+
+    def test_prune_requires_max_bytes(self, capsys, tmp_path):
+        rc = main(["cache", "prune", "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 2
+        assert "--max-bytes" in capsys.readouterr().err
+
+    def test_prune_rejects_negative_budget(self, capsys, tmp_path):
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--max-bytes",
+                "-1",
+            ]
+        )
+        assert rc == 2
+        assert "max_bytes" in capsys.readouterr().err
+
+    def test_prune_evicts_down_to_budget(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["run-all", "--only", "table2,fig3", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        rc = main(
+            ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0"]
+        )
+        assert rc == 0
+        assert "pruned 2 entries" in capsys.readouterr().out
+        main(["cache", "stats", "--cache-dir", cache_dir])
+        assert "entries: 0" in capsys.readouterr().out
+
+
 class TestExplain:
     def test_unknown_target_lists_known_faults(self, capsys):
         assert main(["explain", "robustness_nope"]) == 2

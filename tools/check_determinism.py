@@ -27,13 +27,25 @@ experiment registry:
 
     python tools/check_determinism.py --streams 4
 
-With ``--blame N`` the span/blame sweep (``repro.telemetry.blame``)
+With ``--blame N`` the span/blame sweep (``repro.telemetry.blame_plan``)
 runs a fixed two-family robustness sharding twice — serially and across
 N workers — and the merged blame report plus every per-cell snapshot
 must hash identically: the gate that miss attribution is independent of
 how the work units were scheduled.  Like ``--streams`` it stands alone:
 
     python tools/check_determinism.py --blame 4
+
+With ``--cache`` the selected experiments run twice through the runner
+against a fresh temporary cache directory — a cold run that writes
+every work unit, then a warm rerun that must execute *nothing* (every
+unit a cache hit, zero misses) while its merged ``rows()`` still hash
+identically to the cold run's: the gate that the dependency-aware
+incremental cache returns the same bytes it stored.  It composes with
+``--parallel`` (the warm pair then runs with that worker count, and
+the cold hashes are also checked against the serial digests):
+
+    python tools/check_determinism.py --cache
+    python tools/check_determinism.py --parallel 4 --cache
 
 With ``--queue`` every selected experiment runs twice serially — once
 under the calendar event queue (the default implementation) and once
@@ -187,7 +199,7 @@ def check_blame(jobs: int, seed=None) -> list:
     """
     from repro.runner.executor import execute_plan
     from repro.simcore.time import sec
-    from repro.telemetry.blame import blame_plan
+    from repro.telemetry.blame_plan import blame_plan
 
     print(f"[determinism] blame-sweep rerun with {jobs} job(s) ...", flush=True)
     plan = blame_plan(
@@ -222,6 +234,65 @@ def check_blame(jobs: int, seed=None) -> list:
             )
             failures.append(
                 f"blame/{cell}: parallel shard {got[:16]} != serial {want[:16]}"
+            )
+    return failures
+
+
+def check_cache(ids, serial_digests, jobs: int = 1, seed=None) -> list:
+    """Warm-cache gate: a cached rerun is byte-identical and actually hits.
+
+    The cold run populates a fresh temporary cache; the warm rerun must
+    resolve every unit from it (zero misses, at least one hit) and merge
+    rows hashing identically to the cold run's.  When this invocation
+    also computed serial digests (``--record``/``--check``/``--parallel``),
+    the cold hashes must match those too — proving the cached path feeds
+    the exact serial bytes back.
+    """
+    import tempfile
+
+    from repro.runner import ResultCache, run_experiments
+
+    print(f"[determinism] cache gate: cold+warm run ({jobs} job(s)) ...", flush=True)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-gate-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        cold = run_experiments(
+            ids, jobs=jobs, cache=ResultCache(cache_dir), seed=seed
+        )
+        warm = run_experiments(
+            ids, jobs=jobs, cache=ResultCache(cache_dir), seed=seed
+        )
+    failures = []
+    total_units = warm.cache_hits + warm.cache_misses
+    if warm.cache_hits <= 0 or warm.cache_misses != 0:
+        failures.append(
+            f"cache: warm rerun hit only {warm.cache_hits}/{total_units} "
+            f"units ({warm.cache_misses} misses; expected all hits)"
+        )
+    print(
+        f"[determinism]   warm rerun: {warm.cache_hits}/{total_units} hits, "
+        f"{warm.cache_misses} misses "
+        f"(cold {cold.wall_s:.1f}s -> warm {warm.wall_s:.1f}s)",
+        flush=True,
+    )
+    for cold_report, warm_report in zip(cold.reports, warm.reports):
+        experiment_id = cold_report.experiment_id
+        want = rows_hash(cold_report.rows)
+        got = rows_hash(warm_report.rows)
+        serial = serial_digests.get(experiment_id, {}).get("sha256")
+        diverged = got != want or (serial is not None and want != serial)
+        verdict = "DIVERGED" if diverged else "ok"
+        print(
+            f"[determinism]   {experiment_id}: warm {got[:16]} "
+            f"vs cold {want[:16]}: {verdict}",
+            flush=True,
+        )
+        if got != want:
+            failures.append(
+                f"{experiment_id}: warm-cache hash {got[:16]} != cold {want[:16]}"
+            )
+        elif serial is not None and want != serial:
+            failures.append(
+                f"{experiment_id}: cached hash {want[:16]} != serial {serial[:16]}"
             )
     return failures
 
@@ -312,6 +383,13 @@ def main(argv=None) -> int:
         "event queue (REPRO_EVENT_QUEUE=heap) and fail unless its "
         "metrics hash equals the calendar-queue run's",
     )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="run the selected experiments cold then warm against a "
+        "fresh temporary cache and fail unless the warm rerun hits "
+        "every unit and hashes identically to the cold run",
+    )
     args = parser.parse_args(argv)
     if not (
         args.record
@@ -320,10 +398,11 @@ def main(argv=None) -> int:
         or args.streams
         or args.blame
         or args.queue
+        or args.cache
     ):
         parser.error(
-            "one of --record, --check, --parallel, --streams, --blame "
-            "or --queue is required"
+            "one of --record, --check, --parallel, --streams, --blame, "
+            "--queue or --cache is required"
         )
 
     if args.parallel or args.streams or args.blame:
@@ -355,6 +434,10 @@ def main(argv=None) -> int:
         failures.extend(check_queue(ids, digests, seed=args.seed))
     if args.parallel:
         failures.extend(check_parallel(ids, digests, args.parallel, seed=args.seed))
+    if args.cache:
+        failures.extend(
+            check_cache(ids, digests, jobs=args.parallel or 1, seed=args.seed)
+        )
     if args.streams:
         failures.extend(check_streams(args.streams))
     if args.blame:
@@ -390,12 +473,14 @@ def main(argv=None) -> int:
         checks.append("queue-equivalence")
     if args.parallel:
         checks.append("serial-vs-parallel")
+    if args.cache:
+        checks.append("warm-cache")
     if args.streams:
         checks.append("streamed-aggregates")
     if args.blame:
         checks.append("blame-reports")
     suffix = f" ({' + '.join(checks)})" if checks else ""
-    if run_registry:
+    if run_registry or args.cache:
         subject = f"{len(ids)} experiments"
     elif args.streams and args.blame:
         subject = "telemetry streams + blame sweep"

@@ -9,7 +9,9 @@ slower than the serial run beyond ``--parallel-tolerance`` — the
 "jobs 2 is never slower than serial" contract), and the full-registry
 gate (fails when a parallel full-registry run through ``repro.runner``
 takes more than ``--registry-tolerance``, default 15%, longer than the
-committed ``BENCH_registry.json``):
+committed ``BENCH_registry.json``, or when any single work unit costs
+more than ``--max-unit-s``, default 18 s — the shard-granularity
+contract that keeps the parallel critical path bounded by one shard):
 
     python tools/check_perf.py
     python tools/check_perf.py --skip-tests          # benchmarks only
@@ -172,11 +174,17 @@ def check_parallel_overhead(tolerance: float) -> int:
     return 0 if parallel <= ceiling else 2
 
 
-def check_registry_wall(tolerance: float, jobs: int = 0) -> int:
+def check_registry_wall(
+    tolerance: float, jobs: int = 0, max_unit_s: float = 18.0
+) -> int:
     """Full-registry gate: parallel wall time vs ``BENCH_registry.json``.
 
     The fresh run uses the baseline's job count (override with *jobs*)
-    and a disabled cache, so the comparison is like-for-like.
+    and a disabled cache, so the comparison is like-for-like.  The same
+    run also feeds the slowest-unit gate: no single work unit may take
+    longer than *max_unit_s* (0 disables), the shard-granularity
+    contract that keeps the parallel critical path — and hence the
+    warm-edit turnaround — bounded by one shard, not one experiment.
     """
     if not os.path.exists(REGISTRY_BASELINE):
         print(f"check_perf: no committed baseline at {REGISTRY_BASELINE}")
@@ -189,15 +197,27 @@ def check_registry_wall(tolerance: float, jobs: int = 0) -> int:
 
     jobs = jobs or int(baseline.get("jobs", 1))
     print(f"check_perf: full-registry parallel run ({jobs} jobs) ...")
-    fresh = time_run(jobs)["wall_s"]
+    fresh = time_run(jobs)
     reference = baseline["parallel_wall_s"]
     ceiling = reference * (1.0 + tolerance)
-    verdict = "ok" if fresh <= ceiling else "REGRESSION"
+    verdict = "ok" if fresh["wall_s"] <= ceiling else "REGRESSION"
     print(
-        f"check_perf: registry wall {fresh:.1f}s vs baseline {reference:.1f}s "
+        f"check_perf: registry wall {fresh['wall_s']:.1f}s vs baseline "
+        f"{reference:.1f}s "
         f"(ceiling {ceiling:.1f}s, tolerance {tolerance:.0%}): {verdict}"
     )
-    return 0 if fresh <= ceiling else 2
+    failed = fresh["wall_s"] > ceiling
+    if max_unit_s > 0 and fresh.get("per_unit_s"):
+        slowest_id, slowest = max(
+            fresh["per_unit_s"].items(), key=lambda item: item[1]
+        )
+        unit_verdict = "ok" if slowest <= max_unit_s else "REGRESSION"
+        print(
+            f"check_perf: slowest unit {slowest_id} {slowest:.1f}s vs "
+            f"ceiling {max_unit_s:.1f}s: {unit_verdict}"
+        )
+        failed = failed or slowest > max_unit_s
+    return 2 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -247,6 +267,12 @@ def main(argv=None) -> int:
         "--registry-jobs", type=int, default=0,
         help="worker count for the registry gate (default: the baseline's)",
     )
+    parser.add_argument(
+        "--max-unit-s", type=float, default=18.0,
+        help="slowest-unit ceiling for the registry gate in seconds "
+        "(default 18.0; 0 disables) — no single work unit may cost "
+        "more, keeping the parallel critical path shard-bounded",
+    )
     args = parser.parse_args(argv)
 
     if not args.skip_tests:
@@ -268,7 +294,9 @@ def main(argv=None) -> int:
             return status
     if args.skip_registry:
         return 0
-    return check_registry_wall(args.registry_tolerance, args.registry_jobs)
+    return check_registry_wall(
+        args.registry_tolerance, args.registry_jobs, args.max_unit_s
+    )
 
 
 if __name__ == "__main__":
