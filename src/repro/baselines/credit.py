@@ -453,10 +453,17 @@ class CreditSystem(BaseSystem):
         from ..guest.vm import VM
 
         vm = VM(name, vcpu_count=vcpu_count, slack_ns=0)
+        vm.credit_weight = weight  # travels with the VM across migrations
         self._attach(vm)
         for vcpu in vm.vcpus:
             self.scheduler.add_vcpu(vcpu, weight)
         return vm
+
+    def _enter_host_scheduler(self, vm) -> None:
+        """Credit has no reservations; every VCPU re-enters by weight."""
+        weight = getattr(vm, "credit_weight", 256)
+        for vcpu in vm.vcpus:
+            self.scheduler.add_vcpu(vcpu, weight)
 
     def create_background_vm(self, name: str, weight: int = 256, processes: int = 1):
         vm = self.create_vm(name, weight=weight)

@@ -108,6 +108,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="prune target: evict least-recently-used entries until the "
         "cache holds at most N bytes",
     )
+    cluster = sub.add_parser(
+        "cluster",
+        help="ad-hoc multi-host cluster run (placement, live migration, "
+        "cross-host deadline audit)",
+    )
+    cluster.add_argument(
+        "--mode",
+        default="rebalance",
+        choices=("consolidate", "rebalance", "hostfail", "clockskew"),
+        help="management-plane scenario (default rebalance)",
+    )
+    cluster.add_argument(
+        "--scheduler",
+        default="RTVirt",
+        choices=("RTVirt", "RT-Xen", "Credit"),
+        help="host scheduler on every host (default RTVirt)",
+    )
+    cluster.add_argument(
+        "--hosts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="host count (default 2; clockskew is fixed to 2)",
+    )
+    cluster.add_argument(
+        "--policy",
+        default=None,
+        choices=("worst_fit", "first_fit", "best_fit"),
+        help="override the mode's default placement policy",
+    )
+    cluster.add_argument(
+        "--duration-s",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="simulated seconds (default 2)",
+    )
+    cluster.add_argument(
+        "--seed", type=int, default=29, metavar="N", help="RNG seed (default 29)"
+    )
+    cluster.add_argument(
+        "--clock-offset-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-host clock offset step (host i drifts i*MS ahead; "
+        "default 0.2 ms, clockskew mode sweeps its own)",
+    )
+    cluster.add_argument(
+        "--log",
+        action="store_true",
+        help="print the management-plane event log (placements, "
+        "migrations, faults)",
+    )
     scenario = sub.add_parser(
         "scenario", help="run a declarative JSON scenario file"
     )
@@ -339,6 +393,46 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from .experiments.cluster_scale import assemble_cluster, run_cluster_host
+    from .simcore.time import MSEC, sec
+
+    host_count = 2 if args.mode == "clockskew" else args.hosts
+    if host_count < 2:
+        print("a cluster needs at least 2 hosts", file=sys.stderr)
+        return 2
+    duration_ns = sec(args.duration_s)
+    offset_ns = (
+        None if args.clock_offset_ms is None else int(args.clock_offset_ms * MSEC)
+    )
+    holder = {}
+
+    def attach(cluster, host) -> None:
+        holder.setdefault("cluster", cluster)
+
+    parts = [
+        run_cluster_host(
+            args.mode,
+            args.scheduler,
+            host_count,
+            host_index,
+            duration_ns,
+            args.seed,
+            clock_offset_step_ns=offset_ns,
+            policy=args.policy,
+            attach=attach,
+        )
+        for host_index in range(host_count)
+    ]
+    print(assemble_cluster(parts).summary())
+    if args.log:
+        print("\nmanagement-plane log (host 0's run):")
+        for time_ns, kind, detail in holder["cluster"].log:
+            joined = ", ".join(str(d) for d in detail)
+            print(f"  {time_ns / 1e6:10.3f}ms  {kind:<16s} {joined}")
+    return 0
+
+
 def _cmd_scenario(args) -> int:
     from .scenario import run_scenario_file
 
@@ -540,6 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run_all(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "scenario":
         return _cmd_scenario(args)
     if args.command == "explain":

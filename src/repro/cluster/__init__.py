@@ -1,0 +1,26 @@
+"""Multi-host cluster simulation: N systems, one engine, live migration.
+
+The cluster layer composes existing single-host systems into one
+deterministic timeline: planner-seeded placement
+(:mod:`repro.placement.cluster`), in-sim pre-copy live migration
+(:mod:`repro.placement.migration` executed by :class:`LiveMigration`),
+per-host clocks (:mod:`repro.simcore.clock`) and network-attached
+clients (:class:`ClusterClient` over
+:class:`~repro.workloads.netdelay.NetLink`).
+"""
+
+from .clients import ClusterClient, CrossHostAudit
+from .cluster import SCHEDULERS, Cluster
+from .hosts import ClusterHost, HostSpec, default_specs
+from .live import LiveMigration
+
+__all__ = [
+    "SCHEDULERS",
+    "Cluster",
+    "ClusterClient",
+    "ClusterHost",
+    "CrossHostAudit",
+    "HostSpec",
+    "LiveMigration",
+    "default_specs",
+]

@@ -1,0 +1,176 @@
+"""Network-attached sporadic clients and the cross-host deadline audit.
+
+A :class:`ClusterClient` is the cluster analogue of
+:class:`~repro.workloads.sporadic.SporadicDriver`: an open-loop client
+on the far side of a network link.  Per request it draws, in fixed
+stream order, the inter-arrival gap, the request-direction delay and
+the reply-direction delay from the link of the host its VM currently
+occupies, then delivers the arrival through the cluster's shared
+:class:`~repro.workloads.arrivals.ArrivalMux`.
+
+Two latency views come out of one request:
+
+- **end-to-end** (what the client sees): completion plus reply delay,
+  minus send time — recorded per client;
+- **cross-host deadline**: the deadline is *stamped* in the local clock
+  of the host that admitted the release and *checked* against the local
+  clock of the host where the job completes.  On a single host the
+  offsets cancel and this matches the engine's own deadline accounting
+  exactly; across a live migration it can diverge — the
+  :class:`CrossHostAudit` counts those outcomes per (release host →
+  completion host) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..guest.task import Task, TaskKind
+from ..simcore.errors import ConfigurationError
+from ..simcore.rng import RandomSource
+
+
+class CrossHostAudit:
+    """Deadline outcomes under per-host clocks, by host pair."""
+
+    def __init__(self) -> None:
+        #: (release host, completion host) -> [met, missed]
+        self.pairs: Dict[Tuple[str, str], list] = {}
+
+    def record(self, release_host: str, completion_host: str, met: bool) -> None:
+        entry = self.pairs.setdefault((release_host, completion_host), [0, 0])
+        entry[0 if met else 1] += 1
+
+    def decided(self, completion_host: Optional[str] = None) -> int:
+        return sum(
+            met + missed
+            for (_, comp), (met, missed) in self.pairs.items()
+            if completion_host is None or comp == completion_host
+        )
+
+    def missed(self, completion_host: Optional[str] = None) -> int:
+        return sum(
+            missed
+            for (_, comp), (_, missed) in self.pairs.items()
+            if completion_host is None or comp == completion_host
+        )
+
+    def miss_ratio(self, completion_host: Optional[str] = None) -> float:
+        decided = self.decided(completion_host)
+        if decided == 0:
+            return 0.0
+        return self.missed(completion_host) / decided
+
+    def cross_pairs(
+        self, completion_host: Optional[str] = None
+    ) -> Tuple[int, int]:
+        """(decided, missed) over genuinely cross-host pairs only."""
+        decided = missed = 0
+        for (rel, comp), (met, miss) in self.pairs.items():
+            if rel == comp:
+                continue
+            if completion_host is not None and comp != completion_host:
+                continue
+            decided += met + miss
+            missed += miss
+        return decided, missed
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """JSON-able per-pair counters (``"src->dst"`` keys, sorted)."""
+        return {
+            f"{rel}->{comp}": {"met": met, "missed": missed}
+            for (rel, comp), (met, missed) in sorted(self.pairs.items())
+        }
+
+
+class ClusterClient:
+    """Open-loop sporadic client for one RTA, across the network."""
+
+    def __init__(
+        self,
+        cluster,
+        vm_name: str,
+        task: Task,
+        rng: RandomSource,
+        min_interarrival_ns: int,
+        max_interarrival_ns: int,
+        deadline_ns: Optional[int] = None,
+    ) -> None:
+        if task.kind is not TaskKind.SPORADIC:
+            raise ConfigurationError(f"{task.name} is not a sporadic task")
+        if min_interarrival_ns < task.period_ns:
+            raise ConfigurationError(
+                "client inter-arrival below the task's minimum inter-arrival "
+                f"({min_interarrival_ns} < {task.period_ns})"
+            )
+        if max_interarrival_ns < min_interarrival_ns:
+            raise ConfigurationError("max inter-arrival below min")
+        self.cluster = cluster
+        self.vm_name = vm_name
+        self.task = task
+        self.rng = rng
+        self.min_interarrival_ns = min_interarrival_ns
+        self.max_interarrival_ns = max_interarrival_ns
+        self.deadline_ns = task.period_ns if deadline_ns is None else deadline_ns
+        self.requests_sent = 0
+        self.completed = 0
+        #: Client-observed end-to-end latencies' running aggregate.
+        self.e2e_total_ns = 0
+        self.e2e_max_ns = 0
+        self._stopped = False
+
+    def start(self) -> "ClusterClient":
+        self._schedule_next()
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        gap = self.rng.uniform_int(self.min_interarrival_ns, self.max_interarrival_ns)
+        # All of one request's draws happen up front, in fixed order, so
+        # the stream stays identical however delivery interleaves.
+        link = self.cluster.host_of(self.vm_name).link
+        request_delay_ns = link.sample(self.rng)
+        reply_delay_ns = link.sample(self.rng)
+        send_at = self.cluster.engine.now + gap
+        self.cluster.mux.after(
+            gap + request_delay_ns,
+            lambda: self._arrive(send_at, reply_delay_ns),
+        )
+
+    def _arrive(self, send_at: int, reply_delay_ns: int) -> None:
+        if self._stopped:
+            return
+        cluster = self.cluster
+        now = cluster.engine.now
+        vm = cluster.vms.get(self.vm_name)
+        if vm is None:  # the VM was shut down (churn); client goes quiet
+            return
+        release_host = cluster.host_of(self.vm_name)
+        # The admitting host stamps the absolute deadline in ITS clock.
+        deadline_stamp = release_host.clock.local(now) + self.deadline_ns
+        vm.release_job(
+            self.task,
+            now=now,
+            relative_deadline=self.deadline_ns,
+            on_complete=lambda job: self._done(
+                job, send_at, reply_delay_ns, release_host, deadline_stamp
+            ),
+        )
+        self.requests_sent += 1
+        self._schedule_next()
+
+    def _done(
+        self, job, send_at: int, reply_delay_ns: int, release_host, deadline_stamp: int
+    ) -> None:
+        cluster = self.cluster
+        completion_host = cluster.host_of(self.vm_name)
+        # The completing host reads ITS clock against the carried stamp.
+        met = completion_host.clock.local(job.completed_at) <= deadline_stamp
+        cluster.audit.record(release_host.name, completion_host.name, met)
+        self.completed += 1
+        e2e = job.completed_at + reply_delay_ns - send_at
+        self.e2e_total_ns += e2e
+        if e2e > self.e2e_max_ns:
+            self.e2e_max_ns = e2e

@@ -1,0 +1,85 @@
+"""Host descriptions for cluster simulations.
+
+A :class:`HostSpec` is pure configuration — capacity, background
+reserve, the host's local :class:`~repro.simcore.clock.HostClock` and
+the client-facing :class:`~repro.workloads.netdelay.NetLink`.  A
+:class:`ClusterHost` pairs one spec with the live per-host system
+(its own machine, host scheduler and telemetry bus) inside the shared
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple
+
+from ..simcore.clock import HostClock
+from ..workloads.netdelay import NetLink
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of one cluster host."""
+
+    name: str
+    pcpu_count: int = 2
+    background_reserve: Fraction = Fraction(0)
+    clock: HostClock = HostClock()
+    link: NetLink = NetLink()
+
+
+def default_specs(
+    count: int,
+    pcpu_count: int = 2,
+    clock_offset_step_ns: int = 0,
+    clock_drift_step_ppb: int = 0,
+    link_base_ns: int = 0,
+    link_jitter_ns: int = 0,
+) -> Tuple[HostSpec, ...]:
+    """Uniform hosts ``h0..h{count-1}`` with linearly staggered clocks.
+
+    Host *i* gets offset ``i * clock_offset_step_ns`` and drift
+    ``i * clock_drift_step_ppb`` — host 0 is always the reference clock,
+    so cross-host deadline divergence grows with host distance.  All
+    hosts share one client-link latency distribution.
+    """
+    link = NetLink(base_ns=link_base_ns, jitter_ns=link_jitter_ns)
+    return tuple(
+        HostSpec(
+            name=f"h{i}",
+            pcpu_count=pcpu_count,
+            clock=HostClock(
+                offset_ns=i * clock_offset_step_ns,
+                drift_ppb=i * clock_drift_step_ppb,
+            ),
+            link=link,
+        )
+        for i in range(count)
+    )
+
+
+class ClusterHost:
+    """One live host: a spec plus its instantiated system."""
+
+    def __init__(self, index: int, spec: HostSpec, system) -> None:
+        self.index = index
+        self.spec = spec
+        self.system = system
+        self.name = spec.name
+        self.clock = spec.clock
+        self.link = spec.link
+        self.failed = False
+        self.migrations_in = 0
+        self.migrations_out = 0
+
+    @property
+    def machine(self):
+        return self.system.machine
+
+    @property
+    def engine(self):
+        return self.system.engine
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClusterHost {self.name} pcpus={self.spec.pcpu_count}>"

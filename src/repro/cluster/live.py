@@ -1,0 +1,154 @@
+"""In-sim live migration: pre-copy rounds driven as engine events.
+
+The analytical model (:mod:`repro.placement.migration`) predicts a
+migration's round structure; this module *executes* it inside the
+shared engine.  A :class:`LiveMigration` owns one VM's move:
+
+- at start, the exact integer-ns
+  :class:`~repro.placement.migration.PrecopySchedule` fixes the pause
+  and resume instants; each iterative copy round is marked in the
+  cluster log as it completes (the VM keeps running — pre-copy is
+  transparent except for the link traffic we do not model on the CPU);
+- at ``pause`` (start of stop-and-copy) the source system extracts the
+  VM: VCPUs vacate their PCPUs and leave the host scheduler, and under
+  RTVirt the source admission controller releases the VM's bandwidth
+  immediately (shed);
+- at ``resume`` the destination adopts it: reservation parameters are
+  restored (a source-side shed — e.g. from a host failure — must not
+  travel), the destination re-admits the bandwidth, and queued-up jobs
+  wake.
+
+The stop-and-copy blackout is published per VCPU as paired
+``MIGRATION`` bus events (``layer="cluster"`` on the source bus at
+pause, ``layer="cluster_end"`` on the destination bus at resume) so a
+multi-attached :class:`~repro.telemetry.spans.SpanBuilder` tiles the
+downtime into affected jobs' ``migrating`` bucket.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..placement.migration import PrecopySchedule
+from ..simcore.events import PRIORITY_FAULT
+from ..telemetry import events as T
+
+
+class LiveMigration:
+    """One VM's pre-copy migration between two cluster hosts."""
+
+    def __init__(
+        self,
+        cluster,
+        vm_name: str,
+        source,
+        dest,
+        schedule: PrecopySchedule,
+        safe: bool,
+        reservation: Optional[Tuple[int, int]],
+    ) -> None:
+        self.cluster = cluster
+        self.vm_name = vm_name
+        self.source = source
+        self.dest = dest
+        self.schedule = schedule
+        #: The analytical safety verdict (downtime fits every RTA's
+        #: per-period slack).  Unsafe migrations still execute — the
+        #: resulting misses are the point of measuring them.
+        self.safe = safe
+        #: (budget_ns, period_ns) to restore on the VM's VCPU at adopt
+        #: time; ``None`` for weight-scheduled (Credit) VMs.
+        self.reservation = reservation
+        self.start_ns: Optional[int] = None
+        self.pause_ns: Optional[int] = None
+        self.resume_ns: Optional[int] = None
+        self.done = False
+
+    @property
+    def downtime_ns(self) -> int:
+        return self.schedule.downtime_ns
+
+    def start(self) -> "LiveMigration":
+        engine = self.cluster.engine
+        t0 = engine.now
+        total = self.schedule.total_duration_ns
+        self.start_ns = t0
+        self.pause_ns = t0 + total - self.schedule.downtime_ns
+        self.resume_ns = t0 + total
+        elapsed = 0
+        for index, (_bytes, duration_ns) in enumerate(self.schedule.rounds):
+            elapsed += duration_ns
+            engine.at(
+                t0 + elapsed,
+                self._make_round_marker(index),
+                priority=PRIORITY_FAULT,
+                name=f"migrate:round:{self.vm_name}",
+            )
+        engine.at(
+            self.pause_ns,
+            self._pause,
+            priority=PRIORITY_FAULT,
+            name=f"migrate:pause:{self.vm_name}",
+        )
+        engine.at(
+            self.resume_ns,
+            self._resume,
+            priority=PRIORITY_FAULT,
+            name=f"migrate:resume:{self.vm_name}",
+        )
+        self.cluster._note(
+            "migrate_start",
+            self.vm_name,
+            self.source.name,
+            self.dest.name,
+            len(self.schedule.rounds) + 1,
+            self.schedule.downtime_ns,
+            "safe" if self.safe else "unsafe",
+        )
+        return self
+
+    def _make_round_marker(self, index: int):
+        def marker() -> None:
+            self.cluster._note(
+                "migrate_round", self.vm_name, self.source.name, index
+            )
+
+        return marker
+
+    def _blackout_event(self, bus, vcpu_names: List[str], layer: str, time: int) -> None:
+        if not bus.has_subscribers(T.MIGRATION):
+            return
+        for name in vcpu_names:
+            bus.publish(
+                T.MIGRATION,
+                T.MigrationEvent(
+                    time, name, self.source.index, self.dest.index, layer
+                ),
+            )
+
+    def _pause(self) -> None:
+        vm = self.cluster.vms[self.vm_name]
+        now = self.cluster.engine.now
+        vcpu_names = [v.name for v in vm.vcpus]
+        # Publish the blackout opening on the source bus *before* the
+        # extract detaches the VM — the events belong to the host the
+        # memory image still lives on.
+        self._blackout_event(self.source.machine.bus, vcpu_names, "cluster", now)
+        self.source.system.extract_vm(vm)
+        self.source.migrations_out += 1
+        self.cluster._note("migrate_pause", self.vm_name, self.source.name)
+
+    def _resume(self) -> None:
+        vm = self.cluster.vms[self.vm_name]
+        now = self.cluster.engine.now
+        if self.reservation is not None:
+            budget_ns, period_ns = self.reservation
+            for vcpu in vm.vcpus:
+                vcpu.set_params(budget_ns, period_ns)
+        self.dest.system.adopt_vm(vm)
+        self.dest.migrations_in += 1
+        self._blackout_event(
+            self.dest.machine.bus, [v.name for v in vm.vcpus], "cluster_end", now
+        )
+        self.cluster._finish_migration(self, vm)
+        self.done = True

@@ -62,7 +62,7 @@ class UtilizationAdmission:
     @property
     def capacity(self) -> Fraction:
         """Bandwidth available to RT VCPUs, in CPUs."""
-        return Fraction(self.pcpu_count) - self.background_reserve
+        return max(Fraction(self.pcpu_count) - self.background_reserve, Fraction(0))
 
     @property
     def total_granted(self) -> Fraction:
@@ -132,10 +132,13 @@ class UtilizationAdmission:
     def set_pcpu_count(self, pcpu_count: int) -> None:
         """Adjust capacity to a changed online-PCPU count (PCPU fail or
         recovery).  Existing grants are untouched; call
-        :meth:`shed_to_capacity` to resolve any resulting overload."""
-        if pcpu_count < 1:
-            raise ConfigurationError("need at least one PCPU")
-        if not self.background_reserve < pcpu_count:
+        :meth:`shed_to_capacity` to resolve any resulting overload.
+        A count of zero (every PCPU failed — e.g. a whole-host fault in
+        a cluster run) is legal: capacity clamps to zero and a shed
+        sweep revokes every grant."""
+        if pcpu_count < 0:
+            raise ConfigurationError("negative PCPU count")
+        if pcpu_count and not self.background_reserve < pcpu_count:
             raise ConfigurationError(
                 f"background reserve {self.background_reserve} does not fit "
                 f"in {pcpu_count} PCPUs"

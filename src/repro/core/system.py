@@ -103,6 +103,46 @@ class RTVirtSystem(BaseSystem):
             self.admission.release(vcpu)
             self.shared_memory.unmap_vcpu(vcpu)
 
+    # -- live migration hooks ------------------------------------------------------
+
+    def extract_vm(self, vm: VM) -> None:
+        """Pause for stop-and-copy and shed the VM's bandwidth grants.
+
+        The VCPUs keep their (budget, period) parameters — they describe
+        the reservation the VM will ask of its destination — but this
+        host's admission controller releases the grants immediately, so
+        the freed bandwidth is usable by the remaining VMs for the rest
+        of the migration.
+        """
+        super().extract_vm(vm)
+        for vcpu in vm.vcpus:
+            self.admission.release(vcpu)
+
+    def _enter_host_scheduler(self, vm: VM) -> None:
+        """Re-admit a migrated-in VM through this host's controller.
+
+        The VM's reservations are re-admitted atomically; when the
+        destination cannot honour them wholesale the budgets are zeroed
+        and queued on the displaced list, exactly like a capacity loss
+        from a PCPU failure — the VM runs degraded until
+        :meth:`recover_pcpu`-style headroom returns (or forever).
+        """
+        vm.set_port(
+            RTVirtHypercall(self.machine, self.scheduler, self.admission, self.shared_memory)
+        )
+        updates = [
+            (v, v.budget_ns, v.period_ns)
+            for v in vm.vcpus
+            if v.budget_ns > 0 and v.period_ns > 0
+        ]
+        if updates and not self.admission.try_commit(updates):
+            for vcpu, budget_ns, period_ns in updates:
+                self._displaced.append((vcpu, budget_ns, period_ns))
+                vcpu.set_params(0, period_ns)
+            return
+        for vcpu, _, _ in updates:
+            self.scheduler.add_vcpu(vcpu)
+
     # -- fault entry points -------------------------------------------------------
 
     def fail_pcpu(self, pcpu_index: int) -> None:

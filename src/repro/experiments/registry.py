@@ -15,6 +15,7 @@ from typing import Callable, Dict, List
 
 from ..simcore.time import sec
 from . import (
+    cluster_scale,
     fig1_motivation,
     fig3_bandwidth,
     fig4_dynamic,
@@ -48,6 +49,9 @@ TABLE6_PCPUS = 15
 ROBUSTNESS_DURATION_NS = sec(5)
 ROBUSTNESS_SMOKE_DURATION_NS = sec(1)
 ROBUSTNESS_SEED = 11
+CLUSTER_DURATION_NS = sec(2)
+CLUSTER_SMOKE_DURATION_NS = sec(1)
+CLUSTER_SEED = 29
 
 
 @dataclass(frozen=True)
@@ -171,6 +175,23 @@ for _fault in robustness.ROBUSTNESS_FAULTS:
         ),
     )
 del _fault
+
+# Cluster suite: one entry per management-plane mode, all on the same
+# multi-host harness (per-host work units in the parallel runner).
+for _mode in cluster_scale.CLUSTER_MODES:
+    REGISTRY[f"cluster_{_mode}"] = ExperimentEntry(
+        f"cluster_{_mode}",
+        "§6 cluster",
+        f"Multi-host cluster ({_mode}): planner placement, live migration "
+        "and cross-host deadline audit per scheduler",
+        runner=lambda m=_mode: cluster_scale.run_cluster(
+            m, duration_ns=CLUSTER_DURATION_NS, seed=CLUSTER_SEED
+        ),
+        smoke=lambda m=_mode: cluster_scale.run_cluster(
+            m, duration_ns=CLUSTER_SMOKE_DURATION_NS, seed=CLUSTER_SEED, smoke=True
+        ),
+    )
+del _mode
 
 
 def run(experiment_id: str):

@@ -29,6 +29,8 @@ from .injectors import (
     ClockJitter,
     Fault,
     FaultContext,
+    HostFail,
+    HostRecover,
     HypercallDelay,
     HypercallDrop,
     PcpuFail,
@@ -45,6 +47,8 @@ __all__ = [
     "Every",
     "Fault",
     "FaultContext",
+    "HostFail",
+    "HostRecover",
     "HypercallDelay",
     "HypercallDrop",
     "InvariantChecker",

@@ -164,6 +164,43 @@ class PcpuRecover(Fault):
 
 
 @dataclass(frozen=True)
+class HostFail(Fault):
+    """Fail a whole cluster host; its VMs evacuate by live migration.
+
+    Targets a :class:`repro.cluster.Cluster` (the scenario's "system"):
+    every PCPU of host *host* goes offline and the cluster migrates each
+    resident VM to the alive host with the most headroom.  VMs that fit
+    nowhere are logged as stranded and stay on the dead host.
+    """
+
+    host: str
+
+    kind = "host_fail"
+
+    def apply(self, ctx: FaultContext) -> None:
+        ctx.system.fail_host(self.host)
+        ctx.record(self.kind, self.host, trace=False)
+
+
+@dataclass(frozen=True)
+class HostRecover(Fault):
+    """Bring a failed cluster host's PCPUs back online.
+
+    Evacuated VMs do not migrate back; the recovered host simply
+    becomes a placement candidate again (and any stranded VM resumes
+    getting CPU time).
+    """
+
+    host: str
+
+    kind = "host_recover"
+
+    def apply(self, ctx: FaultContext) -> None:
+        ctx.system.recover_host(self.host)
+        ctx.record(self.kind, self.host, trace=False)
+
+
+@dataclass(frozen=True)
 class VmChurn(Fault):
     """Boot a short-lived RTA VM; shut it down after *lifetime_ns*.
 

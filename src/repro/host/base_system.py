@@ -60,6 +60,56 @@ class BaseSystem:
         self.machine.detach_vm(vm)
         self.vms.remove(vm)
 
+    # -- live migration hooks ------------------------------------------------------
+
+    def extract_vm(self, vm: VM) -> None:
+        """Pause *vm* for a live migration's stop-and-copy blackout.
+
+        Unlike :meth:`shutdown_vm` this is non-destructive: tasks keep
+        their state, and jobs released during the blackout stay queued
+        in the guest scheduler (clients pass explicit release times), so
+        they simply receive no CPU until a destination host
+        :meth:`adopt_vm`\\ s the VM.
+        """
+        scheduler = self.machine.host_scheduler
+        for vcpu in vm.vcpus:
+            pcpu_index = self.machine.pcpu_of(vcpu)
+            if pcpu_index is not None:
+                self.machine.set_running(pcpu_index, None)
+            scheduler.remove_vcpu(vcpu)
+            scheduler.remove_background_vcpu(vcpu)
+        self.machine.detach_vm(vm)
+        self.vms.remove(vm)
+
+    def adopt_vm(self, vm: VM) -> None:
+        """Resume a migrated *vm* on this host (end of stop-and-copy).
+
+        The machine attach rebinds guest telemetry to this host's bus;
+        VCPUs with a live reservation re-enter the host scheduler, and
+        queued-up jobs wake their VCPUs so the blackout backlog drains.
+        """
+        self.machine.attach_vm(vm)
+        self.vms.append(vm)
+        self._enter_host_scheduler(vm)
+        self._wake_backlog(vm)
+
+    def _enter_host_scheduler(self, vm: VM) -> None:
+        """Scheduler-specific half of :meth:`adopt_vm`."""
+        for vcpu in vm.vcpus:
+            if vcpu.budget_ns > 0 and vcpu.period_ns > 0:
+                self.machine.host_scheduler.add_vcpu(vcpu)
+
+    def _wake_backlog(self, vm: VM) -> None:
+        """Notify the host scheduler about jobs queued while paused."""
+        woken = set()
+        for task in vm.rt_tasks:
+            if not task.has_work:
+                continue
+            for vcpu in vm.wake_targets(task):
+                if vcpu.uid not in woken:
+                    woken.add(vcpu.uid)
+                    self.machine.notify_wake(vcpu)
+
     # -- fault entry points --------------------------------------------------------
 
     def fail_pcpu(self, pcpu_index: int) -> None:

@@ -4,9 +4,12 @@ from .cluster import ClusterPlanner, HostDescriptor, VMDemand
 from .migration import (
     MigrationEstimate,
     MigrationParams,
+    PrecopySchedule,
     estimate_migration,
     migration_safe_for,
     plan_rebalancing,
+    precopy_schedule,
+    safe_migration_params,
 )
 
 __all__ = [
@@ -15,7 +18,10 @@ __all__ = [
     "ClusterPlanner",
     "MigrationParams",
     "MigrationEstimate",
+    "PrecopySchedule",
     "estimate_migration",
     "migration_safe_for",
     "plan_rebalancing",
+    "precopy_schedule",
+    "safe_migration_params",
 ]

@@ -16,7 +16,7 @@ VM's worst-case deadline slack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..simcore.errors import ConfigurationError
 from ..simcore.time import SEC
@@ -43,6 +43,32 @@ class MigrationParams:
             )
 
 
+def safe_migration_params(
+    memory_bytes: int,
+    dirty_rate_bytes_per_s: int,
+    link_bytes_per_s: int,
+    max_rounds: int = 30,
+    stop_threshold_bytes: int = 64 * 1024 * 1024,
+) -> Optional[MigrationParams]:
+    """Build :class:`MigrationParams`, or ``None`` when pre-copy cannot
+    converge (``dirty_rate >= link_bandwidth``).
+
+    Sweeps and planners should call this instead of the constructor so a
+    non-converging configuration reads as "migration unsafe" rather than
+    an exception unwinding the whole sweep.  Genuinely malformed inputs
+    (non-positive memory or link) still raise.
+    """
+    if 0 <= dirty_rate_bytes_per_s and dirty_rate_bytes_per_s >= link_bytes_per_s > 0:
+        return None
+    return MigrationParams(
+        memory_bytes=memory_bytes,
+        dirty_rate_bytes_per_s=dirty_rate_bytes_per_s,
+        link_bytes_per_s=link_bytes_per_s,
+        max_rounds=max_rounds,
+        stop_threshold_bytes=stop_threshold_bytes,
+    )
+
+
 @dataclass(frozen=True)
 class MigrationEstimate:
     """Predicted cost of one live migration."""
@@ -53,31 +79,66 @@ class MigrationEstimate:
     transferred_bytes: int
 
 
-def estimate_migration(params: MigrationParams) -> MigrationEstimate:
-    """Pre-copy rounds until the residual dirty set is small, then stop-copy."""
+@dataclass(frozen=True)
+class PrecopySchedule:
+    """Exact per-round timing of one pre-copy migration.
+
+    ``rounds`` holds ``(bytes, duration_ns)`` per iterative copy round;
+    the final stop-and-copy round is ``(stop_copy_bytes, downtime_ns)``.
+    All durations are integer nanoseconds (``bytes * SEC //
+    link_bytes_per_s``) so a simulation can replay the rounds as engine
+    events without float drift.
+    """
+
+    rounds: Tuple[Tuple[int, int], ...]
+    stop_copy_bytes: int
+    downtime_ns: int
+
+    @property
+    def total_duration_ns(self) -> int:
+        return sum(ns for _, ns in self.rounds) + self.downtime_ns
+
+    @property
+    def transferred_bytes(self) -> int:
+        return sum(b for b, _ in self.rounds) + self.stop_copy_bytes
+
+    def estimate(self) -> MigrationEstimate:
+        return MigrationEstimate(
+            total_duration_ns=self.total_duration_ns,
+            downtime_ns=self.downtime_ns,
+            rounds=len(self.rounds) + 1,
+            transferred_bytes=self.transferred_bytes,
+        )
+
+
+def precopy_schedule(params: MigrationParams) -> PrecopySchedule:
+    """Pre-copy rounds until the residual dirty set is small, then stop-copy.
+
+    Integer-exact: round durations are floor nanoseconds of
+    ``bytes / link``, and the dirty set shrinks by the exact rational
+    ratio ``dirty_rate / link`` (floored), so identical params always
+    yield the identical schedule on every platform.
+    """
     remaining = params.memory_bytes
-    transferred = 0
-    duration_s = 0.0
-    rounds = 0
-    ratio = params.dirty_rate_bytes_per_s / params.link_bytes_per_s
-    while rounds < params.max_rounds and remaining > params.stop_threshold_bytes:
-        round_time = remaining / params.link_bytes_per_s
-        transferred += remaining
-        duration_s += round_time
-        remaining = int(remaining * ratio)
-        rounds += 1
-        if ratio == 0:
+    rounds: List[Tuple[int, int]] = []
+    dirty = params.dirty_rate_bytes_per_s
+    link = params.link_bytes_per_s
+    while len(rounds) < params.max_rounds and remaining > params.stop_threshold_bytes:
+        rounds.append((remaining, remaining * SEC // link))
+        remaining = remaining * dirty // link
+        if dirty == 0:
             remaining = 0
             break
-    downtime_s = remaining / params.link_bytes_per_s
-    transferred += remaining
-    duration_s += downtime_s
-    return MigrationEstimate(
-        total_duration_ns=round(duration_s * SEC),
-        downtime_ns=round(downtime_s * SEC),
-        rounds=rounds + 1,
-        transferred_bytes=transferred,
+    return PrecopySchedule(
+        rounds=tuple(rounds),
+        stop_copy_bytes=remaining,
+        downtime_ns=remaining * SEC // link,
     )
+
+
+def estimate_migration(params: MigrationParams) -> MigrationEstimate:
+    """Predicted aggregate cost (see :func:`precopy_schedule` for rounds)."""
+    return precopy_schedule(params).estimate()
 
 
 def migration_safe_for(
@@ -96,7 +157,7 @@ def migration_safe_for(
 
 def plan_rebalancing(
     planner,
-    params: MigrationParams,
+    params: Optional[MigrationParams],
     target_imbalance: float = 0.2,
 ) -> List[str]:
     """Propose migrations reducing cluster imbalance below the target.
@@ -105,7 +166,14 @@ def plan_rebalancing(
     loaded host to the least loaded, while that improves imbalance.
     Returns the names of VMs to migrate, in order.  Only the *proposal*
     is computed; executing the migrations is the operator's call.
+
+    *params* may be ``None`` (the :func:`safe_migration_params` signal
+    that pre-copy cannot converge): every migration is then unsafe and
+    the proposal is empty — a sweep over dirty rates degrades to
+    "rebalancing off" instead of raising.
     """
+    if params is None:
+        return []
     proposals: List[str] = []
     estimate = estimate_migration(params)
     for _ in range(32):  # safety bound

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import registry
+from ..experiments.cluster_scale import assemble_cluster, cluster_unit_specs
 from ..experiments.fig4_dynamic import FIG4_VM_COUNT, assemble_fig4
 from ..experiments.fig5_memcached import FIG5_SCHEDULERS, Fig5Result
 from ..experiments.robustness import ROBUSTNESS_SCHEDULERS, RobustnessResult
@@ -159,6 +160,10 @@ def _assemble_robustness(parts: Sequence[Any]) -> RobustnessResult:
     return RobustnessResult(list(parts))
 
 
+def _assemble_cluster(parts: Sequence[Any]):
+    return assemble_cluster(list(parts))
+
+
 # -- cost model (parallel scheduling hints) -------------------------------------------
 
 #: Cold-start fallback: serial wall seconds per work unit as measured
@@ -196,7 +201,16 @@ _UNIT_COST_S: Dict[str, float] = {
 
 #: Per-experiment fallbacks for shard families whose units are uniform
 #: (table1/sporadic group×framework grids, the robustness cells).
-_FAMILY_COST_S: Dict[str, float] = {"table1": 0.5, "sporadic": 0.2}
+_FAMILY_COST_S: Dict[str, float] = {
+    "table1": 0.5,
+    "sporadic": 0.2,
+    # cluster_* units re-run the full multi-host sim each; cost scales
+    # with the host grid, not the observed shard.
+    "cluster_consolidate": 0.1,
+    "cluster_rebalance": 0.1,
+    "cluster_hostfail": 0.1,
+    "cluster_clockskew": 0.05,
+}
 
 _DEFAULT_COST_S = 0.15
 
@@ -410,6 +424,30 @@ def _robustness_plan(experiment_id: str, seed: Optional[int]) -> ExperimentPlan:
     return ExperimentPlan(experiment_id, units, _assemble_robustness)
 
 
+def _cluster_plan(experiment_id: str, seed: Optional[int]) -> ExperimentPlan:
+    """Per-host shards: each unit re-runs the full deterministic cluster
+    sim and extracts one host's row + mergeable telemetry snapshot."""
+    mode = experiment_id[len("cluster_"):]
+    units = tuple(
+        WorkUnit(
+            experiment_id=experiment_id,
+            unit_id=f"{experiment_id}/{label}",
+            fn="repro.experiments.cluster_scale:run_cluster_host",
+            kwargs=tuple(
+                sorted(
+                    {
+                        "duration_ns": registry.CLUSTER_DURATION_NS,
+                        "seed": registry.CLUSTER_SEED if seed is None else seed,
+                        **kwargs,
+                    }.items()
+                )
+            ),
+        )
+        for label, kwargs in cluster_unit_specs(mode)
+    )
+    return ExperimentPlan(experiment_id, units, _assemble_cluster)
+
+
 _SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
     "table1": _table1_plan,
     "sporadic": _sporadic_plan,
@@ -432,6 +470,8 @@ def plan_for(experiment_id: str, seed: Optional[int] = None) -> ExperimentPlan:
         raise KeyError(f"unknown experiment id {experiment_id!r}")
     if experiment_id.startswith("robustness_"):
         return _robustness_plan(experiment_id, seed)
+    if experiment_id.startswith("cluster_"):
+        return _cluster_plan(experiment_id, seed)
     builder = _SHARDED_PLANS.get(experiment_id)
     return builder() if builder else _whole_plan(experiment_id)
 

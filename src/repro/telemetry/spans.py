@@ -37,6 +37,7 @@ fast path), and an attached one pays only event fan-out.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from . import events as T
@@ -190,14 +191,19 @@ class SpanBuilder:
         self.spans: List[Span] = []
         self._open: Dict[str, deque] = {}  # task name -> FIFO of open spans
         self._by_key: Dict[Tuple[str, int], Span] = {}
-        # Carrier-side interval sources, keyed by VCPU name:
+        # Carrier-side interval sources, keyed by VCPU name (globally
+        # unique, so they survive multi-machine attachment unscoped):
         self._oncpu: Dict[str, List[Interval]] = {}
-        self._pcpu_occupant: Dict[int, Tuple[str, int]] = {}  # pcpu -> (vcpu, since)
+        #: (scope, pcpu) -> (vcpu, since); the scope label separates
+        #: equal PCPU indices of different hosts under multi-attach.
+        self._pcpu_occupant: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self._depleted: Dict[str, List[Interval]] = {}
         self._depleted_open: Dict[str, int] = {}
         self._throttled: Dict[str, List[Interval]] = {}
         self._throttled_open: Dict[str, int] = {}
         self._migrations: Dict[str, List[Interval]] = {}
+        #: Open cluster stop-and-copy blackouts: vcpu name -> pause time.
+        self._blackout_open: Dict[str, int] = {}
         self._hypercall_faults: List[Interval] = []
         self._migration_ns = migration_ns
         self._machine = None
@@ -206,10 +212,24 @@ class SpanBuilder:
 
     # -- wiring -----------------------------------------------------------------------
 
-    def attach(self, machine) -> "SpanBuilder":
-        """Subscribe to *machine*'s bus (detaching any previous one)."""
-        self.detach()
-        self._machine = machine
+    def attach(self, machine, replace: bool = True, scope: str = "") -> "SpanBuilder":
+        """Subscribe to *machine*'s bus.
+
+        With ``replace=True`` (default) any previous attachment is
+        dropped first — the single-host usage.  ``replace=False`` *adds*
+        the machine to the subscription set instead, letting one builder
+        observe every host of a cluster so a span survives live
+        migration (its release may be published on one host's bus and
+        its completion on another's; VCPU and task names are globally
+        unique, so carrier timelines stitch across buses).  *scope*
+        disambiguates PCPU indices between hosts — give each machine a
+        distinct label (e.g. the host name) when multi-attaching.
+        """
+        if replace:
+            self.detach()
+            self._machine = machine
+        elif self._machine is None:
+            self._machine = machine
         if self._migration_ns is None:
             self._migration_ns = machine.costs.migration_ns
         bus = machine.bus
@@ -220,17 +240,20 @@ class SpanBuilder:
             bus.subscribe(T.JOB_COMPLETE, self._on_complete),
             bus.subscribe(T.DEADLINE_HIT, self._on_hit),
             bus.subscribe(T.DEADLINE_MISS, self._on_miss),
-            bus.subscribe(T.CONTEXT_SWITCH, self._on_switch),
+            bus.subscribe(T.CONTEXT_SWITCH, partial(self._on_switch, scope)),
             bus.subscribe(T.MIGRATION, self._on_migration),
             bus.subscribe(T.BUDGET_DEPLETE, self._on_deplete),
             bus.subscribe(T.BUDGET_REPLENISH, self._on_replenish),
             bus.subscribe(T.ADMISSION_DECISION, self._on_admission),
             bus.subscribe(T.FAULT_INJECTED, self._on_fault),
         ]
+        previous = self._unsubscribe
 
         def unsubscribe() -> None:
             for cancel in cancels:
                 cancel()
+            if previous is not None:
+                previous()
 
         self._unsubscribe = unsubscribe
         return self
@@ -294,14 +317,15 @@ class SpanBuilder:
             span.missed = True
             span.tardiness = event.tardiness
 
-    def _on_switch(self, event: T.ContextSwitchEvent) -> None:
-        previous = self._pcpu_occupant.pop(event.pcpu, None)
+    def _on_switch(self, scope: str, event: T.ContextSwitchEvent) -> None:
+        key = (scope, event.pcpu)
+        previous = self._pcpu_occupant.pop(key, None)
         if previous is not None:
             name, since = previous
             if event.time > since:
                 self._oncpu.setdefault(name, []).append((since, event.time))
         if event.vcpu is not None:
-            self._pcpu_occupant[event.pcpu] = (event.vcpu, event.time)
+            self._pcpu_occupant[key] = (event.vcpu, event.time)
 
     def _on_migration(self, event: T.MigrationEvent) -> None:
         if event.layer == "guest":
@@ -309,6 +333,18 @@ class SpanBuilder:
             if spans:
                 spans[0].guest_migrations.append(
                     (event.time, event.source, event.target)
+                )
+            return
+        if event.layer == "cluster":
+            # Live migration stop-and-copy began: the VCPU is paused
+            # until the matching "cluster_end" on the destination bus.
+            self._blackout_open.setdefault(event.entity, event.time)
+            return
+        if event.layer == "cluster_end":
+            start = self._blackout_open.pop(event.entity, None)
+            if start is not None and event.time > start:
+                self._migrations.setdefault(event.entity, []).append(
+                    (start, event.time)
                 )
             return
         cost = self._migration_ns or 0
@@ -359,7 +395,7 @@ class SpanBuilder:
             if self._machine is None:
                 raise ValueError("finalize() needs end_time when unattached")
             end_time = self._machine.engine.now
-        for pcpu, (name, since) in sorted(self._pcpu_occupant.items()):
+        for _key, (name, since) in sorted(self._pcpu_occupant.items()):
             if end_time > since:
                 self._oncpu.setdefault(name, []).append((since, end_time))
         self._pcpu_occupant.clear()
@@ -371,6 +407,10 @@ class SpanBuilder:
             if end_time > start:
                 self._throttled.setdefault(name, []).append((start, end_time))
         self._throttled_open.clear()
+        for name, start in sorted(self._blackout_open.items()):
+            if end_time > start:
+                self._migrations.setdefault(name, []).append((start, end_time))
+        self._blackout_open.clear()
         for name in self._oncpu:
             self._oncpu[name] = merge_intervals(self._oncpu[name])
         for name in self._migrations:

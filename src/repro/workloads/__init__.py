@@ -7,6 +7,7 @@ from .memcached import (
     MEMCACHED_SLICE_NS,
     MemcachedService,
 )
+from .netdelay import NetLink
 from .periodic import TABLE1_GROUPS, TABLE5_GROUPS, PeriodicDriver, RTASpec, build_group_vms
 from .rtapp import (
     RTAppConfig,
@@ -27,6 +28,7 @@ from .video import (
 
 __all__ = [
     "ArrivalMux",
+    "NetLink",
     "RTASpec",
     "TABLE1_GROUPS",
     "TABLE5_GROUPS",

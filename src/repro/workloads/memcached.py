@@ -28,6 +28,7 @@ from ..simcore.events import PRIORITY_RELEASE
 from ..simcore.rng import RandomSource
 from ..simcore.time import MSEC, USEC
 from .arrivals import ArrivalMux
+from .netdelay import NetLink
 
 #: Mean inter-arrival: 100 queries/second.
 DEFAULT_MEAN_INTERARRIVAL_NS = 10 * MSEC
@@ -64,6 +65,7 @@ class MemcachedService:
         service_sigma: float = SERVICE_SIGMA,
         register: bool = True,
         mux: Optional[ArrivalMux] = None,
+        link: Optional[NetLink] = None,
     ) -> None:
         if mean_interarrival_ns <= period_ns:
             raise ConfigurationError(
@@ -82,6 +84,7 @@ class MemcachedService:
         self.service_sigma = service_sigma
         self.latency = LatencyRecorder(name=name)
         self.mux = mux
+        self.link = link if link is not None and not link.zero else None
         self.requests_sent = 0
         self._stopped = False
 
@@ -110,29 +113,41 @@ class MemcachedService:
 
     def _schedule_next(self) -> None:
         gap = self._draw_gap()
+        # One request's network cost is drawn up front (request and reply
+        # directions, in that order) so the stream's draw sequence per
+        # cycle is fixed: gap, [request delay, reply delay], service.
+        request_delay_ns = reply_delay_ns = 0
+        if self.link is not None:
+            request_delay_ns = self.link.sample(self.rng)
+            reply_delay_ns = self.link.sample(self.rng)
+        arrive = lambda: self._request(request_delay_ns, reply_delay_ns)
         if self.mux is not None:
-            self.mux.after(gap, self._request)
+            self.mux.after(gap + request_delay_ns, arrive)
             return
         self.engine.after(
-            gap,
-            self._request,
+            gap + request_delay_ns,
+            arrive,
             priority=PRIORITY_RELEASE,
             name=f"request:{self.task.name}",
         )
 
-    def _request(self) -> None:
+    def _request(self, request_delay_ns: int = 0, reply_delay_ns: int = 0) -> None:
         if self._stopped:
             return
         now = self.engine.now
+        network_ns = request_delay_ns + reply_delay_ns
         self.vm.release_job(
             self.task,
             now=now,
             work=self._draw_service(),
             relative_deadline=self.task.period_ns,
-            on_complete=self._record,
+            on_complete=lambda job: self._record(job, network_ns),
         )
         self.requests_sent += 1
         self._schedule_next()
 
-    def _record(self, job) -> None:
-        self.latency.record(job.completed_at - job.release)
+    def _record(self, job, network_ns: int = 0) -> None:
+        # End-to-end as the client sees it: host response time plus both
+        # network directions.  With no link this is NIC-to-NIC, as the
+        # paper measures.
+        self.latency.record(job.completed_at - job.release + network_ns)

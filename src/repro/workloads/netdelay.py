@@ -1,0 +1,81 @@
+"""Client-to-host network latency model.
+
+Requests from open-loop clients (sporadic RTAs, memcached front-ends)
+do not materialise at the host the instant the client issues them: they
+cross a network link whose latency has a base propagation component and
+a jitter component.  :class:`NetLink` models one such link with a
+configurable distribution; drivers add a sampled delivery delay to each
+request's arrival (through the :class:`~repro.workloads.arrivals.ArrivalMux`)
+and a second sampled delay to the reply, so *end-to-end* response times
+seen by the client include both directions while the host-side deadline
+accounting still runs on arrival times.
+
+Delays are integer nanoseconds drawn from a named
+:class:`~repro.simcore.rng.RandomSource`, so a link is exactly
+reproducible per seed and never perturbs other streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simcore.errors import ConfigurationError
+from ..simcore.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class NetLink:
+    """One client-to-host link's latency distribution.
+
+    ``uniform`` (default): integer-uniform in
+    ``[base_ns - jitter_ns, base_ns + jitter_ns]``, clamped at 0.
+    ``lognormal``: heavy-tailed around *base_ns* with sigma scaled by
+    ``jitter_ns / base_ns`` — the classic datacenter RTT shape where the
+    p99 is several times the median.
+    """
+
+    base_ns: int = 0
+    jitter_ns: int = 0
+    shape: str = "uniform"
+
+    SHAPES = ("uniform", "lognormal")
+
+    def __post_init__(self) -> None:
+        if self.base_ns < 0 or self.jitter_ns < 0:
+            raise ConfigurationError("link latency must be non-negative")
+        if self.shape not in self.SHAPES:
+            raise ConfigurationError(
+                f"unknown link shape {self.shape!r}; choose from {self.SHAPES}"
+            )
+        if self.shape == "lognormal" and self.jitter_ns > 0 and self.base_ns == 0:
+            raise ConfigurationError("lognormal link needs base_ns > 0")
+
+    @property
+    def zero(self) -> bool:
+        """True for the no-network degenerate link (every delay is 0)."""
+        return self.base_ns == 0 and self.jitter_ns == 0
+
+    def sample(self, rng: RandomSource) -> int:
+        """Draw one direction's delay in integer nanoseconds.
+
+        A zero link never touches *rng*, so wiring a link into a driver
+        with ``base_ns == jitter_ns == 0`` leaves the driver's random
+        stream — and therefore every downstream metric — byte-identical
+        to the linkless configuration.
+        """
+        if self.zero:
+            return 0
+        if self.shape == "uniform":
+            if self.jitter_ns == 0:
+                return self.base_ns
+            return rng.uniform_int(
+                max(0, self.base_ns - self.jitter_ns),
+                self.base_ns + self.jitter_ns,
+            )
+        import math
+
+        sigma = self.jitter_ns / self.base_ns if self.jitter_ns else 0.0
+        if sigma == 0.0:
+            return self.base_ns
+        # mu chosen so the *median* is base_ns; the mean sits above it.
+        return max(0, round(rng.lognormal(math.log(self.base_ns), sigma)))

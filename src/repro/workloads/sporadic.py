@@ -8,7 +8,10 @@ minimum inter-arrival is the task's period (the sporadic task model).
 
 The measured network delay (99.9th percentile 19 µs) was declared
 insignificant and excluded from the paper's measurements; we expose it
-as an optional constant added to the release time.
+as an optional constant added to the release time, or — for cluster
+experiments where the client genuinely sits across a network — as a
+per-request draw from a :class:`~repro.workloads.netdelay.NetLink`
+latency distribution.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from ..simcore.events import PRIORITY_RELEASE
 from ..simcore.rng import RandomSource
 from ..simcore.time import MSEC, SEC
 from .arrivals import ArrivalMux
+from .netdelay import NetLink
 
 
 class SporadicDriver:
@@ -44,6 +48,7 @@ class SporadicDriver:
         max_requests: Optional[int] = None,
         network_delay_ns: int = 0,
         mux: Optional[ArrivalMux] = None,
+        link: Optional[NetLink] = None,
     ) -> None:
         if task.kind is not TaskKind.SPORADIC:
             raise ConfigurationError(f"{task.name} is not a sporadic task")
@@ -63,6 +68,7 @@ class SporadicDriver:
         self.max_requests = max_requests
         self.network_delay_ns = network_delay_ns
         self.mux = mux
+        self.link = link if link is not None and not link.zero else None
         self.requests_sent = 0
         self._stopped = False
 
@@ -76,11 +82,14 @@ class SporadicDriver:
 
     def _schedule_next(self) -> None:
         gap = self.rng.uniform_int(self.min_interarrival_ns, self.max_interarrival_ns)
+        delay = self.network_delay_ns
+        if self.link is not None:
+            delay += self.link.sample(self.rng)
         if self.mux is not None:
-            self.mux.after(gap + self.network_delay_ns, self._arrive)
+            self.mux.after(gap + delay, self._arrive)
             return
         self.engine.after(
-            gap + self.network_delay_ns,
+            gap + delay,
             self._arrive,
             priority=PRIORITY_RELEASE,
             name=f"sporadic:{self.task.name}",

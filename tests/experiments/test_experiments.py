@@ -173,6 +173,10 @@ class TestRegistry:
             "robustness_surge",
             "robustness_hypercall",
             "robustness_jitter",
+            "cluster_consolidate",
+            "cluster_rebalance",
+            "cluster_hostfail",
+            "cluster_clockskew",
         }
         for entry in REGISTRY.values():
             assert entry.paper_ref and entry.description

@@ -187,3 +187,46 @@ class TestExplain:
         )
         assert rc == 2
         assert "no spans" in capsys.readouterr().err
+
+
+class TestCluster:
+    def test_cluster_run_prints_per_host_rows(self, capsys):
+        rc = main(
+            [
+                "cluster",
+                "--mode",
+                "rebalance",
+                "--hosts",
+                "2",
+                "--duration-s",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "h0" in out and "h1" in out and "cluster" in out
+        assert "migr_in" in out and "downtime_ms" in out
+
+    def test_cluster_log_shows_migration_lifecycle(self, capsys):
+        rc = main(
+            [
+                "cluster",
+                "--mode",
+                "hostfail",
+                "--hosts",
+                "3",
+                "--duration-s",
+                "1",
+                "--log",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "management-plane log" in out
+        for kind in ("host_fail", "migrate_start", "migrate_pause",
+                     "migrate_resume", "host_recover"):
+            assert kind in out
+
+    def test_cluster_needs_two_hosts(self, capsys):
+        assert main(["cluster", "--hosts", "1"]) == 2
+        assert "at least 2 hosts" in capsys.readouterr().err

@@ -1,0 +1,67 @@
+"""Client-to-host network link latency model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simcore.errors import ConfigurationError
+from repro.simcore.rng import RandomSource
+from repro.workloads.netdelay import NetLink
+from repro.simcore.time import usec
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetLink(base_ns=-1)
+        with pytest.raises(ConfigurationError):
+            NetLink(jitter_ns=-1)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetLink(base_ns=10, shape="pareto")
+
+    def test_lognormal_needs_base(self):
+        with pytest.raises(ConfigurationError):
+            NetLink(base_ns=0, jitter_ns=10, shape="lognormal")
+
+
+class TestZeroLink:
+    def test_zero_link_never_touches_rng(self):
+        """The degenerate link must leave the stream byte-identical, so
+        wiring links into a driver cannot perturb linkless configs."""
+        link = NetLink()
+        assert link.zero
+        rng = RandomSource(7, "probe")
+        before = [rng.uniform_int(0, 1000) for _ in range(3)]
+        rng2 = RandomSource(7, "probe")
+        assert link.sample(rng2) == 0
+        assert [rng2.uniform_int(0, 1000) for _ in range(3)] == before
+
+
+class TestSampling:
+    def test_jitterless_link_is_constant(self):
+        link = NetLink(base_ns=usec(20))
+        rng = RandomSource(1, "link")
+        assert [link.sample(rng) for _ in range(5)] == [usec(20)] * 5
+
+    @given(
+        st.integers(min_value=1, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_uniform_sample_within_bounds(self, base, jitter, seed):
+        link = NetLink(base_ns=base, jitter_ns=jitter)
+        value = link.sample(RandomSource(seed, "link"))
+        assert max(0, base - jitter) <= value <= base + jitter
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_lognormal_sample_non_negative(self, seed):
+        link = NetLink(base_ns=usec(20), jitter_ns=usec(30), shape="lognormal")
+        assert link.sample(RandomSource(seed, "link")) >= 0
+
+    def test_same_seed_same_draws(self):
+        link = NetLink(base_ns=usec(20), jitter_ns=usec(10))
+        a = [link.sample(RandomSource(3, "link")) for _ in range(1)]
+        b = [link.sample(RandomSource(3, "link")) for _ in range(1)]
+        assert a == b

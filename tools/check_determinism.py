@@ -35,6 +35,16 @@ how the work units were scheduled.  Like ``--streams`` it stands alone:
 
     python tools/check_determinism.py --blame 4
 
+With ``--cluster N`` every ``cluster_*`` experiment (the multi-host
+family, sharded per observed host) runs serially and again through the
+parallel work-unit runner with N worker processes, and each
+experiment's merged ``rows()`` hash must equal the serial hash — the
+gate that per-host cluster shards reassemble byte-identically however
+the hosts were distributed over workers.  Like ``--streams`` it stands
+alone; it does not rerun the rest of the registry:
+
+    python tools/check_determinism.py --cluster 4
+
 With ``--cache`` the selected experiments run twice through the runner
 against a fresh temporary cache directory — a cold run that writes
 every work unit, then a warm rerun that must execute *nothing* (every
@@ -238,6 +248,29 @@ def check_blame(jobs: int, seed=None) -> list:
     return failures
 
 
+def check_cluster(jobs: int, seed=None) -> list:
+    """Cluster gate: per-host shards merge byte-identically.
+
+    Every ``cluster_*`` experiment re-runs the same deterministic
+    multi-host simulation once per observed host, so the parallel
+    runner may scatter the hosts of one cluster across workers.  The
+    merged rows must hash identically to the serial ``registry.run``
+    path regardless of that distribution.
+    """
+    cluster_ids = [i for i in registry.all_ids() if i.startswith("cluster_")]
+    digests = {}
+    for experiment_id in cluster_ids:
+        print(f"[determinism] running {experiment_id} ...", flush=True)
+        digests[experiment_id] = experiment_digest(experiment_id, seed=seed)
+        print(
+            f"[determinism]   {experiment_id}: "
+            f"{digests[experiment_id]['sha256'][:16]} "
+            f"({digests[experiment_id]['wall_s']}s)",
+            flush=True,
+        )
+    return check_parallel(cluster_ids, digests, jobs, seed=seed)
+
+
 def check_cache(ids, serial_digests, jobs: int = 1, seed=None) -> list:
     """Warm-cache gate: a cached rerun is byte-identical and actually hits.
 
@@ -377,6 +410,15 @@ def main(argv=None) -> int:
         "(does not rerun the experiment registry)",
     )
     parser.add_argument(
+        "--cluster",
+        type=int,
+        metavar="JOBS",
+        help="run every cluster_* experiment serially and through the "
+        "parallel runner with JOBS processes and fail unless the merged "
+        "per-host shards hash identically (does not rerun the rest of "
+        "the registry)",
+    )
+    parser.add_argument(
         "--queue",
         action="store_true",
         help="rerun every selected experiment under the reference heap "
@@ -397,15 +439,16 @@ def main(argv=None) -> int:
         or args.parallel
         or args.streams
         or args.blame
+        or args.cluster
         or args.queue
         or args.cache
     ):
         parser.error(
             "one of --record, --check, --parallel, --streams, --blame, "
-            "--queue or --cache is required"
+            "--cluster, --queue or --cache is required"
         )
 
-    if args.parallel or args.streams or args.blame:
+    if args.parallel or args.streams or args.blame or args.cluster:
         # The cross-process gates must actually cross processes, even on
         # hosts where the executor would collapse the pool to one CPU.
         os.environ["REPRO_RUNNER_FORCE_POOL"] = "1"
@@ -442,6 +485,8 @@ def main(argv=None) -> int:
         failures.extend(check_streams(args.streams))
     if args.blame:
         failures.extend(check_blame(args.blame, seed=args.seed))
+    if args.cluster:
+        failures.extend(check_cluster(args.cluster, seed=args.seed))
 
     if args.record:
         with open(args.record, "w") as fh:
@@ -479,15 +524,20 @@ def main(argv=None) -> int:
         checks.append("streamed-aggregates")
     if args.blame:
         checks.append("blame-reports")
+    if args.cluster:
+        checks.append("cluster-shards")
     suffix = f" ({' + '.join(checks)})" if checks else ""
+    standalone = []
+    if args.streams:
+        standalone.append("telemetry streams")
+    if args.blame:
+        standalone.append("blame sweep")
+    if args.cluster:
+        standalone.append("cluster shards")
     if run_registry or args.cache:
         subject = f"{len(ids)} experiments"
-    elif args.streams and args.blame:
-        subject = "telemetry streams + blame sweep"
-    elif args.blame:
-        subject = "blame sweep"
     else:
-        subject = "telemetry streams"
+        subject = " + ".join(standalone)
     print(f"[determinism] OK — {subject} byte-identical{suffix}")
     return 0
 
