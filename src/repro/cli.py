@@ -196,7 +196,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     explain.add_argument(
         "target",
-        help="a robustness_<fault> experiment id or a scenario JSON path",
+        help="a robustness_<fault> or feedback_*/tenant_* experiment id, "
+        "or a scenario JSON path",
     )
     explain.add_argument(
         "--job",
@@ -565,9 +566,32 @@ def _explain_scenario(args) -> int:
     return 0
 
 
+def _explain_feedback(args) -> int:
+    from .experiments.feedback_adaptive import explain_feedback
+    from .experiments.common import format_table
+    from .report.ascii import render_blame_table
+    from .simcore.time import sec
+
+    cells = explain_feedback(args.target, sec(args.duration_s), args.seed)
+    for cell in cells:
+        print(
+            f"=== {args.target} — policy {cell['policy']!r} "
+            f"({args.duration_s:g}s, seed {args.seed})"
+        )
+        print(format_table(cell["rows"], title="result rows"))
+        print(render_blame_table(cell["blame"]))
+        print(format_table(cell["tenants"], title="per-tenant blame/credit"))
+        print()
+    return 0
+
+
 def _cmd_explain(args) -> int:
     if args.target.endswith(".json"):
         return _explain_scenario(args)
+    from .experiments.feedback_adaptive import FEEDBACK_CELLS
+
+    if args.target in FEEDBACK_CELLS:
+        return _explain_feedback(args)
     from .experiments.robustness import ROBUSTNESS_FAULTS
     from .simcore.time import sec
 
@@ -575,7 +599,10 @@ def _cmd_explain(args) -> int:
     if fault.startswith("robustness_"):
         fault = fault[len("robustness_"):]
     if fault not in ROBUSTNESS_FAULTS:
-        known = ", ".join(f"robustness_{f}" for f in ROBUSTNESS_FAULTS)
+        known = ", ".join(
+            [f"robustness_{f}" for f in ROBUSTNESS_FAULTS]
+            + list(FEEDBACK_CELLS)
+        )
         print(
             f"unknown target {args.target!r}; pick a scenario .json or one "
             f"of: {known}",

@@ -34,6 +34,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..baselines.credit import CreditSystem
 from ..baselines.rtxen import RTXenSystem
+from ..control import actions as A
+from ..control.port import ActuationPort
 from ..core.system import DEFAULT_SLACK_NS, RTVirtSystem
 from ..guest.task import Task, TaskKind
 from ..placement.cluster import ClusterPlanner, HostDescriptor, VMDemand
@@ -102,6 +104,18 @@ class Cluster:
         self._migrating: Set[str] = set()
         #: Management-plane event log: (engine time, kind, detail tuple).
         self.log: List[Tuple[int, str, tuple]] = []
+        #: The cluster's own actuation port: placement mutations
+        #: (migrate, rebalance) flow through it, so feedback policies
+        #: can observe/issue them the same way they do bandwidth ones.
+        self.control = ActuationPort()
+        self.control.register(
+            A.MigrateVM.kind,
+            lambda a: self._do_migrate(a.vm_name, a.dest, a.params),
+        )
+        self.control.register(
+            A.RebalanceCluster.kind,
+            lambda a: self._do_rebalance(a.params, a.target_imbalance),
+        )
 
     def _build_system(self, spec: HostSpec):
         if self.scheduler_name == "RTVirt":
@@ -294,11 +308,22 @@ class Cluster:
     ) -> Optional[LiveMigration]:
         """Start a live migration of *vm_name* to *dest* (None = refused).
 
-        Refusal is graceful and logged: no configured (or non-convergent)
-        pre-copy parameters, the VM already in flight, or destination ==
-        source / failed.  An analytically *unsafe* migration (downtime
-        exceeding some RTA's slack) still runs — its misses are data.
+        Routed through the cluster's actuation port; refusal is graceful
+        and logged: no configured (or non-convergent) pre-copy
+        parameters, the VM already in flight, or destination == source /
+        failed.  An analytically *unsafe* migration (downtime exceeding
+        some RTA's slack) still runs — its misses are data.
         """
+        return self.control.submit(
+            A.MigrateVM(cluster=self, vm_name=vm_name, dest=dest, params=params)
+        )
+
+    def _do_migrate(
+        self,
+        vm_name: str,
+        dest,
+        params: Optional[MigrationParams] = None,
+    ) -> Optional[LiveMigration]:
         params = self.migration_params if params is None else params
         if params is None:
             self._note("migrate_unsafe", vm_name, "non-convergent pre-copy")
@@ -362,13 +387,25 @@ class Cluster:
     ) -> List[str]:
         """Plan and execute live migrations reducing planner imbalance.
 
-        Delegates the proposal (and its planner bookkeeping) to
+        Routed through the cluster's actuation port.  Delegates the
+        proposal (and its planner bookkeeping) to
         :func:`repro.placement.migration.plan_rebalancing`; each proposed
         VM then gets an in-sim :class:`LiveMigration`.  Proposals for VMs
         already in flight are skipped (the planner's view keeps the
         move — it will be reconciled by the in-flight migration's own
         destination).  Returns the VM names actually set in motion.
         """
+        return self.control.submit(
+            A.RebalanceCluster(
+                cluster=self, params=params, target_imbalance=target_imbalance
+            )
+        )
+
+    def _do_rebalance(
+        self,
+        params: Optional[MigrationParams] = None,
+        target_imbalance: float = 0.2,
+    ) -> List[str]:
         params = self.migration_params if params is None else params
         if params is None:
             self._note("rebalance_off", "non-convergent pre-copy")

@@ -1,0 +1,21 @@
+"""The control plane: typed actuation, tenants/credit, feedback policy.
+
+``actions`` + ``port`` define the actuation funnel every bandwidth and
+placement mutation flows through; ``tenants`` groups VMs under SLOs and
+scores them online (the QY-style credit model); ``controller`` closes
+the loop from telemetry causes back to actions.
+"""
+
+from . import actions
+from .controller import FeedbackController
+from .port import ActuationPort
+from .tenants import CreditLedger, TenantSLO, default_task_owner
+
+__all__ = [
+    "ActuationPort",
+    "CreditLedger",
+    "FeedbackController",
+    "TenantSLO",
+    "actions",
+    "default_task_owner",
+]

@@ -1,0 +1,282 @@
+"""The feedback controller: blame causes in, actuations out.
+
+Closes the loop PR 5's diagnosis opened.  The controller subscribes to
+the telemetry bus, keeps a small window of evidence (deadline misses,
+budget depletions, admission sheds, hypercall faults), and on a fixed
+periodic tick classifies each missing VCPU with the same ranked cause
+taxonomy :mod:`repro.telemetry.blame` uses offline — then maps the
+cause to a typed action on the actuation port:
+
+- ``budget_exhaustion``  → INC_BW: grow the VCPU's budget by a
+  multiplicative step until the misses stop (the cross-layer interface
+  renegotiates online, which is the paper's whole point);
+- ``admission_throttle`` → re-admit the shed reservation; when capacity
+  is gone, either evacuate the VM by live migration (cluster hook) or
+  make room by shedding the cheapest tenants (credit model);
+- ``host_preemption``    → migrate/re-place via the cluster hook;
+- ``hypercall_fault``    → wait out the fault window (retry next tick).
+
+The offline ``attribute_miss`` walk needs finalized, tiled spans, so it
+only exists at end-of-run; this online estimator applies the same
+precedence (throttle masquerades as exhaustion because a shed zeroes
+the budget, so the shed test runs first) over streaming evidence.
+
+Determinism: the controller only acts from its periodic engine tick,
+every iteration order is fixed (VM list order, sorted credits), and all
+mutations go through the actuation port — so a run with a controller
+attached is reproducible under a fixed seed, and a run without one is
+byte-identical to the pre-control-plane code.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..simcore.time import MSEC
+from ..telemetry import events as T
+from . import actions as A
+from .tenants import CreditLedger
+
+#: Cause labels — the subset of repro.telemetry.blame.CAUSES the online
+#: estimator can distinguish, in the same precedence order.
+THROTTLE = "admission_throttle"
+EXHAUSTION = "budget_exhaustion"
+HYPERCALL_FAULT = "hypercall_fault"
+PREEMPTION = "host_preemption"
+
+
+class FeedbackController:
+    """Maps online blame estimates to actuation-port actions."""
+
+    def __init__(
+        self,
+        system,
+        ledger: Optional[CreditLedger] = None,
+        period_ns: int = 100 * MSEC,
+        step: Tuple[int, int] = (5, 4),
+        migration_hook: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        self.system = system
+        self.ledger = ledger
+        self.period_ns = period_ns
+        self.step_num, self.step_den = step
+        #: ``fn(vm_name) -> bool`` — evacuate a VM to another host (the
+        #: cluster experiments wire this to ``Cluster.migrate``).
+        self.migration_hook = migration_hook
+        #: Action log: (time, cause, subject, action) for reporting.
+        self.actions: List[Tuple[int, str, str, str]] = []
+        # -- evidence window (cleared every tick) --
+        self._misses: Dict[str, int] = {}  # task -> count
+        self._depletes: Dict[str, int] = {}  # vcpu name -> count
+        self._fault_seen = False
+        # -- persistent evidence --
+        self._shed_vcpus: Set[str] = set()  # shed, not yet re-committed
+        self._last_params: Dict[int, Tuple[int, int]] = {}  # uid -> nonzero
+        self._cancel = None
+        self._tick_event = None
+        self._attached = False
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self) -> "FeedbackController":
+        """Subscribe to the system's bus and start the periodic tick."""
+        bus = self.system.machine.bus
+        subs = [
+            bus.subscribe(T.DEADLINE_MISS, self._on_miss),
+            bus.subscribe(T.BUDGET_DEPLETE, self._on_deplete),
+            bus.subscribe(T.ADMISSION_DECISION, self._on_admission),
+            bus.subscribe(T.FAULT_INJECTED, self._on_fault),
+            bus.subscribe(T.VCPU_PARAMS, self._on_params),
+        ]
+        self._cancel = lambda: [cancel() for cancel in subs]
+        self._attached = True
+        self._tick_event = self.system.engine.after(
+            self.period_ns, self._tick, name="feedback-tick"
+        )
+        return self
+
+    def detach(self) -> None:
+        self._attached = False
+        if self._cancel is not None:
+            self._cancel()
+            self._cancel = None
+        if self._tick_event is not None:
+            self.system.engine.cancel(self._tick_event)
+            self._tick_event = None
+
+    # -- evidence collection -----------------------------------------------------
+
+    def _on_miss(self, event) -> None:
+        self._misses[event.task] = self._misses.get(event.task, 0) + 1
+
+    def _on_deplete(self, event) -> None:
+        self._depletes[event.vcpu] = self._depletes.get(event.vcpu, 0) + 1
+
+    def _on_admission(self, event) -> None:
+        if event.level != "host":
+            return
+        if event.op == "shed":
+            self._shed_vcpus.add(event.subject)
+        elif event.op == "commit" and event.granted:
+            self._shed_vcpus.discard(event.subject)
+
+    def _on_fault(self, event) -> None:
+        if "hypercall" in event.fault:
+            self._fault_seen = True
+
+    def _on_params(self, event) -> None:
+        if event.budget_ns > 0:
+            self._last_params[event.vcpu_uid] = (event.budget_ns, event.period_ns)
+
+    # -- the control loop --------------------------------------------------------
+
+    def _classify(self, vcpu) -> str:
+        """Online cause estimate, blame-taxonomy precedence: a shed
+        zeroes the budget and masquerades as exhaustion, so the
+        throttle test runs first; depletion beats fault noise.  DP-WRAP
+        has no deplete moment (entitlement is laid out per slice), so a
+        missing VCPU whose reservation can still grow is *inferred*
+        exhausted — its guaranteed supply was short, whatever donations
+        it scavenged.  Only a VCPU already at its period's cap has
+        nothing left to ask of this host: that is displacement."""
+        if vcpu.name in self._shed_vcpus:
+            return THROTTLE
+        if self._depletes.get(vcpu.name):
+            return EXHAUSTION
+        if self._fault_seen:
+            return HYPERCALL_FAULT
+        if vcpu.budget_ns < vcpu.period_ns:
+            return EXHAUSTION
+        return PREEMPTION
+
+    def _tick(self) -> None:
+        if not self._attached:
+            return
+        now = self.system.engine.now
+        if self._misses:
+            for vm in list(self.system.vms):
+                for vcpu in vm.vcpus:
+                    missing = [
+                        t for t in vcpu.rt_tasks() if self._misses.get(t.name)
+                    ]
+                    if not missing:
+                        continue
+                    self._act(self._classify(vcpu), vm, vcpu, now)
+        self._misses.clear()
+        self._depletes.clear()
+        self._fault_seen = False
+        self._tick_event = self.system.engine.after(
+            self.period_ns, self._tick, name="feedback-tick"
+        )
+
+    def _act(self, cause: str, vm, vcpu, now: int) -> None:
+        if cause == EXHAUSTION:
+            self._bump(vm, vcpu, now)
+        elif cause == THROTTLE:
+            self._reclaim(vm, vcpu, now)
+        elif cause == PREEMPTION:
+            if self.migration_hook is not None and self._evacuate(vm, now):
+                return
+            self.actions.append((now, cause, vcpu.name, "noop"))
+        else:  # hypercall fault window: acting now would be lost too
+            self.actions.append((now, cause, vcpu.name, "wait"))
+
+    def _submit_increase(self, vm, updates) -> bool:
+        return self.system.machine.control.submit(
+            A.IncBandwidth(port=vm.port, updates=tuple(updates))
+        )
+
+    def _bump(self, vm, vcpu, now: int) -> None:
+        """Grow the exhausted VCPU's budget one multiplicative step."""
+        period = vcpu.period_ns
+        budget = vcpu.budget_ns
+        if budget >= period:
+            self.actions.append((now, EXHAUSTION, vcpu.name, "at-cap"))
+            return
+        new_budget = min(period, max(budget + 1, budget * self.step_num // self.step_den))
+        if self._submit_increase(vm, [(vcpu, new_budget, period)]):
+            self.actions.append((now, EXHAUSTION, vcpu.name, "inc_bw"))
+            return
+        if self.ledger is not None and self._make_room(
+            Fraction(new_budget - budget, period), exclude_vm=vm.name
+        ):
+            if self._submit_increase(vm, [(vcpu, new_budget, period)]):
+                self.actions.append((now, EXHAUSTION, vcpu.name, "inc_bw"))
+                return
+        self.actions.append((now, EXHAUSTION, vcpu.name, "rejected"))
+
+    def _reclaim(self, vm, vcpu, now: int) -> None:
+        """Re-admit a shed reservation, shedding cheaper tenants or
+        evacuating the VM when this host has no capacity left."""
+        params = self._last_params.get(vcpu.uid)
+        if params is None:
+            self.actions.append((now, THROTTLE, vcpu.name, "no-params"))
+            return
+        budget, period = params
+        if self._submit_increase(vm, [(vcpu, budget, period)]):
+            self.actions.append((now, THROTTLE, vcpu.name, "readmit"))
+            return
+        needed = Fraction(budget, period) - self.system.admission.remaining
+        if self.ledger is not None and self._make_room(needed, exclude_vm=vm.name):
+            if self._submit_increase(vm, [(vcpu, budget, period)]):
+                self.actions.append((now, THROTTLE, vcpu.name, "readmit"))
+                return
+        if self.migration_hook is not None and self._evacuate(vm, now):
+            return
+        self.actions.append((now, THROTTLE, vcpu.name, "stuck"))
+
+    def _make_room(self, needed: Fraction, exclude_vm: str) -> bool:
+        """Zero the cheapest tenants' grants (DEC_BW through their own
+        ports) until *needed* bandwidth is free.  Never touches VMs of
+        the victim's own tenant or unmapped VMs."""
+        if needed <= 0:
+            return True
+        admission = self.system.admission
+        credits = self.ledger.credits()
+        exclude_tenant = self.ledger.tenant_of_vm(exclude_vm)
+        candidates = []  # (credit, vm list index) — ascending credit
+        for index, vm in enumerate(self.system.vms):
+            tenant = self.ledger.tenant_of_vm(vm.name)
+            if not tenant or tenant == exclude_tenant or vm.name == exclude_vm:
+                continue
+            candidates.append((credits[tenant], index))
+        for _, index in sorted(candidates):
+            vm = self.system.vms[index]
+            for vcpu in vm.vcpus:
+                if admission.remaining >= needed:
+                    return True
+                if admission.granted(vcpu) <= 0:
+                    continue
+                self.system.machine.control.submit(
+                    A.DecBandwidth(
+                        port=vm.port,
+                        updates=((vcpu, 0, max(vcpu.period_ns, 1)),),
+                    )
+                )
+                self.actions.append(
+                    (self.system.engine.now, THROTTLE, vcpu.name, "shed_tenant")
+                )
+        return admission.remaining >= needed
+
+    def _evacuate(self, vm, now: int) -> bool:
+        """Hand the VM to the cluster to re-place elsewhere.
+
+        A source-side shed must not travel with the VM: the cluster's
+        :class:`~repro.cluster.live.LiveMigration` restores the derived
+        reservation at adopt time, so the controller only decides *that*
+        the VM should move, never with which parameters.
+        """
+        if self.migration_hook(vm.name):
+            self.actions.append((now, THROTTLE, vm.name, "migrate"))
+            return True
+        return False
+
+    # -- reporting ---------------------------------------------------------------
+
+    def action_counts(self) -> Dict[str, int]:
+        """How often each action fired (sorted keys, reporting)."""
+        counts: Dict[str, int] = {}
+        for _, _, _, action in self.actions:
+            counts[action] = counts.get(action, 0) + 1
+        return dict(sorted(counts.items()))

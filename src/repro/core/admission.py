@@ -36,8 +36,18 @@ class UtilizationAdmission:
         self.background_reserve = Fraction(background_reserve)
         self._granted: Dict[int, Fraction] = {}  # vcpu uid -> bandwidth
         self._names: Dict[int, str] = {}  # vcpu uid -> last-known name
+        self._owners: Dict[int, str] = {}  # vcpu uid -> owning VM name
         self._bus: Optional[TelemetryBus] = None
         self._clock: Optional[Callable[[], int]] = None
+        #: Optional VM-name -> tenant-name resolver (the tenant layer
+        #: binds one); emitted events then carry the tenant directly.
+        self._tenant_of: Optional[Callable[[str], str]] = None
+        #: Optional shed-order policy: ``fn(uids, owners) -> uids``.
+        #: ``None`` keeps the historical newest-VCPU-first order
+        #: byte-identical.
+        self._shed_order: Optional[
+            Callable[[List[int], Dict[int, str]], List[int]]
+        ] = None
 
     # -- telemetry ---------------------------------------------------------------
 
@@ -48,16 +58,44 @@ class UtilizationAdmission:
         self._bus = bus
         self._clock = clock
 
-    def _emit(self, op: str, subject: str, granted: bool, detail: str) -> None:
+    def bind_tenants(self, tenant_of: Callable[[str], str]) -> None:
+        """Resolve VM names to tenants in emitted decisions (0-cost when
+        unbound; the resolver must be pure and deterministic)."""
+        self._tenant_of = tenant_of
+
+    def set_shed_policy(
+        self,
+        order: Optional[Callable[[List[int], Dict[int, str]], List[int]]],
+    ) -> None:
+        """Install a shed-order policy (``None`` restores newest-first).
+
+        The policy receives the candidate uids (newest first) and a
+        uid -> VM-name owner map, and returns the uids in revocation
+        order; the credit-ranked policy in
+        :mod:`repro.control.tenants` sheds the cheapest tenants first.
+        """
+        self._shed_order = order
+
+    def owner(self, uid: int) -> str:
+        """Owning VM name of a granted uid ("" when never learned)."""
+        return self._owners.get(uid, "")
+
+    def _emit(self, op: str, subject: str, granted: bool, detail: str, vm: str = "") -> None:
         bus = self._bus
         if bus is None or not bus.has_subscribers(T.ADMISSION_DECISION):
             return
+        tenant = self._tenant_of(vm) if (self._tenant_of is not None and vm) else ""
         bus.publish(
             T.ADMISSION_DECISION,
             T.AdmissionDecisionEvent(
-                self._clock(), "host", op, subject, granted, detail
+                self._clock(), "host", op, subject, granted, detail, vm, tenant
             ),
         )
+
+    @staticmethod
+    def _vm_name(vcpu: VCPU) -> str:
+        vm = getattr(vcpu, "vm", None)
+        return vm.name if vm is not None else ""
 
     @property
     def capacity(self) -> Fraction:
@@ -89,7 +127,14 @@ class UtilizationAdmission:
         for vcpu, budget_ns, period_ns in updates:
             if ok:
                 self._names[vcpu.uid] = vcpu.name
-            self._emit("commit", vcpu.name, ok, reason or f"{budget_ns}/{period_ns}")
+                self._owners[vcpu.uid] = self._vm_name(vcpu)
+            self._emit(
+                "commit",
+                vcpu.name,
+                ok,
+                reason or f"{budget_ns}/{period_ns}",
+                vm=self._vm_name(vcpu),
+            )
         return ok
 
     def _test_and_commit(
@@ -119,13 +164,21 @@ class UtilizationAdmission:
                 raise ConfigurationError(f"{vcpu.name}: invalid period {period_ns}")
             self._granted[vcpu.uid] = Fraction(budget_ns, period_ns)
             self._names[vcpu.uid] = vcpu.name
-            self._emit("decrease", vcpu.name, True, f"{budget_ns}/{period_ns}")
+            self._owners[vcpu.uid] = self._vm_name(vcpu)
+            self._emit(
+                "decrease",
+                vcpu.name,
+                True,
+                f"{budget_ns}/{period_ns}",
+                vm=self._vm_name(vcpu),
+            )
 
     def release(self, vcpu: VCPU) -> None:
         """Forget *vcpu* entirely (VM teardown)."""
         if self._granted.pop(vcpu.uid, None) is not None:
-            self._emit("release", vcpu.name, True, "")
+            self._emit("release", vcpu.name, True, "", vm=self._vm_name(vcpu))
         self._names.pop(vcpu.uid, None)
+        self._owners.pop(vcpu.uid, None)
 
     # -- fault injection ---------------------------------------------------------
 
@@ -155,7 +208,10 @@ class UtilizationAdmission:
         revoked: List[int] = []
         total = self.total_granted
         capacity = self.capacity
-        for uid in sorted(self._granted, reverse=True):
+        order = sorted(self._granted, reverse=True)
+        if self._shed_order is not None:
+            order = self._shed_order(order, dict(self._owners))
+        for uid in order:
             if total <= capacity:
                 break
             bw = self._granted[uid]
@@ -167,6 +223,10 @@ class UtilizationAdmission:
             # The revoked bandwidth rides in the detail so blame/debug
             # consumers can see how much was taken without a grant table.
             self._emit(
-                "shed", self._names.get(uid, str(uid)), False, f"revoked {bw}"
+                "shed",
+                self._names.get(uid, str(uid)),
+                False,
+                f"revoked {bw}",
+                vm=self._owners.get(uid, ""),
             )
         return revoked

@@ -568,12 +568,18 @@ class DPWrapScheduler(HostScheduler):
             # A release that creates a boundary before the planned slice
             # end (a late first release, or a sporadic arrival whose
             # deadline precedes another VCPU's) forces a re-partition so
-            # the slice aligns with it.
+            # the slice aligns with it.  Only a *future* deadline is a
+            # boundary: a tardy VCPU publishes its oldest pending (past)
+            # deadline, which no slice end can align with — repartitioning
+            # on it would churn the plan on every wake for as long as the
+            # backlog persists (each re-laid piece displaces a borrower,
+            # whose wake repartitions again), with the overhead of each
+            # switch consuming the very capacity the backlog needs.
             published = self.shared_memory.read(vcpu, now)
             if (
                 self.repartition_on_wake
                 and published is not None
-                and published < self._slice_end
+                and now < published < self._slice_end
             ):
                 self._new_slice()
             # Reclaim the VCPU's own active reservation piece, if any.

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..control.actions import AdmitDecrease, AdmitRequest
 from ..guest.port import CrossLayerPort, ParamUpdate
 from ..guest.vcpu import VCPU
 from ..host.machine import Machine
@@ -59,6 +60,24 @@ class RTVirtHypercall(CrossLayerPort):
 
     def _charge(self) -> None:
         self.machine.charge_hypercall(pcpu_index=0)
+
+    def _admit_increase(self, updates: List[ParamUpdate]) -> bool:
+        """Run host admission through the actuation port when wired.
+
+        Standalone ports (unit tests build them without a system) fall
+        back to the direct call — same mechanism, no observer tap.
+        """
+        control = self.machine.control
+        if control is not None and control.executes(AdmitRequest.kind):
+            return control.submit(AdmitRequest(self.admission, tuple(updates)))
+        return self.admission.try_commit(updates)
+
+    def _admit_decrease(self, updates: List[ParamUpdate]) -> None:
+        control = self.machine.control
+        if control is not None and control.executes(AdmitDecrease.kind):
+            control.submit(AdmitDecrease(self.admission, tuple(updates)))
+            return
+        self.admission.commit_decrease(updates)
 
     def _emit(
         self, updates: List[ParamUpdate], outcome: str, flag: SchedRTVirtFlag
@@ -121,7 +140,7 @@ class RTVirtHypercall(CrossLayerPort):
             self.log.append((flag, False))
             self._emit(updates, "dropped", flag)
             return False
-        if not self.admission.try_commit(updates):
+        if not self._admit_increase(updates):
             self.log.append((flag, False))
             self._emit(updates, "rejected", flag)
             return False
@@ -139,7 +158,7 @@ class RTVirtHypercall(CrossLayerPort):
             self.log.append((SchedRTVirtFlag.DEC_BW, False))
             self._emit(updates, "dropped", SchedRTVirtFlag.DEC_BW)
             return
-        self.admission.commit_decrease(updates)
+        self._admit_decrease(updates)
         deferred = self._deliver(updates, SchedRTVirtFlag.DEC_BW)
         self.log.append((SchedRTVirtFlag.DEC_BW, True))
         self._emit(

@@ -16,6 +16,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
+from ..control import actions as A
 from ..guest.vm import VM
 from ..host.base_system import BaseSystem
 from ..host.costs import DEFAULT_COSTS, CostModel
@@ -57,6 +58,21 @@ class RTVirtSystem(BaseSystem):
         self.machine.set_host_scheduler(self.scheduler)
         self.admission = UtilizationAdmission(pcpu_count, background_reserve)
         self.admission.bind_telemetry(self.machine.bus, lambda: self.engine.now)
+        # Host-admission mechanisms behind the actuation port: the
+        # hypercall path and the fault/teardown paths all submit these.
+        self.control.register(
+            A.AdmitRequest.kind, lambda a: a.admission.try_commit(a.updates)
+        )
+        self.control.register(
+            A.AdmitDecrease.kind,
+            lambda a: a.admission.commit_decrease(a.updates),
+        )
+        self.control.register(
+            A.AdmitRelease.kind, lambda a: a.admission.release(a.vcpu)
+        )
+        self.control.register(
+            A.ShedToCapacity.kind, lambda a: a.admission.shed_to_capacity()
+        )
         self.default_slack_ns = slack_ns
         #: Bandwidth shed by a PCPU failure, awaiting re-admission:
         #: (vcpu, budget_ns, period_ns) in displacement order.
@@ -100,7 +116,7 @@ class RTVirtSystem(BaseSystem):
     def shutdown_vm(self, vm: VM) -> None:
         super().shutdown_vm(vm)
         for vcpu in vm.vcpus:
-            self.admission.release(vcpu)
+            self.control.submit(A.AdmitRelease(admission=self.admission, vcpu=vcpu))
             self.shared_memory.unmap_vcpu(vcpu)
 
     # -- live migration hooks ------------------------------------------------------
@@ -116,7 +132,7 @@ class RTVirtSystem(BaseSystem):
         """
         super().extract_vm(vm)
         for vcpu in vm.vcpus:
-            self.admission.release(vcpu)
+            self.control.submit(A.AdmitRelease(admission=self.admission, vcpu=vcpu))
 
     def _enter_host_scheduler(self, vm: VM) -> None:
         """Re-admit a migrated-in VM through this host's controller.
@@ -145,7 +161,7 @@ class RTVirtSystem(BaseSystem):
 
     # -- fault entry points -------------------------------------------------------
 
-    def fail_pcpu(self, pcpu_index: int) -> None:
+    def _do_fail_pcpu(self, pcpu_index: int) -> None:
         """Take a PCPU offline and re-negotiate admitted bandwidth.
 
         Capacity shrinks to the surviving PCPUs, and grants that no
@@ -158,7 +174,7 @@ class RTVirtSystem(BaseSystem):
         self.machine.fail_pcpu(pcpu_index)
         self.admission.set_pcpu_count(self.machine.available_count)
         by_uid = {v.uid: v for vm in self.vms for v in vm.vcpus}
-        for uid in self.admission.shed_to_capacity():
+        for uid in self.control.submit(A.ShedToCapacity(admission=self.admission)):
             vcpu = by_uid.get(uid)
             if vcpu is None:
                 continue
@@ -166,7 +182,7 @@ class RTVirtSystem(BaseSystem):
             vcpu.set_params(0, vcpu.period_ns)
             self.scheduler.update_vcpu(vcpu)
 
-    def recover_pcpu(self, pcpu_index: int) -> None:
+    def _do_recover_pcpu(self, pcpu_index: int) -> None:
         """Bring a PCPU back and re-admit displaced bandwidth (FIFO)."""
         if not self.machine.pcpus[pcpu_index].failed:
             return
@@ -176,7 +192,12 @@ class RTVirtSystem(BaseSystem):
         for vcpu, budget_ns, period_ns in self._displaced:
             if vcpu.vm is None or vcpu.vm.machine is not self.machine:
                 continue  # the VM was shut down while displaced
-            if self.admission.try_commit([(vcpu, budget_ns, period_ns)]):
+            if self.control.submit(
+                A.AdmitRequest(
+                    admission=self.admission,
+                    updates=((vcpu, budget_ns, period_ns),),
+                )
+            ):
                 vcpu.set_params(budget_ns, period_ns)
                 self.scheduler.update_vcpu(vcpu)
             else:

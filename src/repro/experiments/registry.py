@@ -16,6 +16,7 @@ from typing import Callable, Dict, List
 from ..simcore.time import sec
 from . import (
     cluster_scale,
+    feedback_adaptive,
     fig1_motivation,
     fig3_bandwidth,
     fig4_dynamic,
@@ -52,6 +53,9 @@ ROBUSTNESS_SEED = 11
 CLUSTER_DURATION_NS = sec(2)
 CLUSTER_SMOKE_DURATION_NS = sec(1)
 CLUSTER_SEED = 29
+FEEDBACK_DURATION_NS = sec(4)
+FEEDBACK_SMOKE_DURATION_NS = sec(1)
+FEEDBACK_SEED = 31
 
 
 @dataclass(frozen=True)
@@ -192,6 +196,24 @@ for _mode in cluster_scale.CLUSTER_MODES:
         ),
     )
 del _mode
+
+# Control-plane suite: the blame-driven feedback controller and the
+# credit-ranked tenant shed, head-to-head against their static policies.
+for _fid in feedback_adaptive.FEEDBACK_CELLS:
+    _scenario = feedback_adaptive.FEEDBACK_CELLS[_fid][0]
+    REGISTRY[_fid] = ExperimentEntry(
+        _fid,
+        "§7 control plane",
+        f"Adaptive control plane ({_scenario}): policy head-to-head "
+        "miss ratio, granted bandwidth and controller actions",
+        runner=lambda f=_fid: feedback_adaptive.run_feedback(
+            f, duration_ns=FEEDBACK_DURATION_NS, seed=FEEDBACK_SEED
+        ),
+        smoke=lambda f=_fid: feedback_adaptive.run_feedback(
+            f, duration_ns=FEEDBACK_SMOKE_DURATION_NS, seed=FEEDBACK_SEED
+        ),
+    )
+del _fid, _scenario
 
 
 def run(experiment_id: str):

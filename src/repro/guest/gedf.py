@@ -10,6 +10,11 @@ needs per-VCPU parameters either way), but dispatch is global: a VCPU
 with no local work claims the earliest-deadline unclaimed job anywhere
 in the VM.  Claims prevent two VCPUs from running one job concurrently;
 the machine model releases a VCPU's claim whenever it loses its PCPU.
+
+Bandwidth mutations (register/adjust/unregister) are inherited from
+pEDF and therefore flow through the host's actuation port
+(:class:`repro.control.port.ActuationPort`) whenever the VM is attached
+to a machine — gEDF adds no mutation paths of its own.
 """
 
 from __future__ import annotations

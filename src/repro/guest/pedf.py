@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..control.actions import DecBandwidth, IncBandwidth
 from ..simcore.errors import AdmissionError, ConfigurationError
 from ..telemetry import events as T
 from .params import derive_vcpu_params, fits_on_vcpu
@@ -110,6 +111,29 @@ class PEDFGuestScheduler:
                 ),
             )
 
+    # -- cross-layer actuation ------------------------------------------------
+
+    def _control(self):
+        """The host's actuation port, when the VM is machine-attached."""
+        machine = self.vm.machine
+        return machine.control if machine is not None else None
+
+    def _request_increase(self, updates: List[ParamUpdate]) -> bool:
+        """INC_BW/INC_DEC_BW through the control plane (or the raw port
+        for detached VMs — same call, no observer tap)."""
+        control = self._control()
+        if control is not None and control.executes(IncBandwidth.kind):
+            return control.submit(IncBandwidth(self.vm.port, tuple(updates)))
+        return self.vm.port.request_increase(updates)
+
+    def _notify_decrease(self, updates: List[ParamUpdate]) -> None:
+        """DEC_BW through the control plane (never rejected)."""
+        control = self._control()
+        if control is not None and control.executes(DecBandwidth.kind):
+            control.submit(DecBandwidth(self.vm.port, tuple(updates)))
+            return
+        self.vm.port.notify_decrease(updates)
+
     # -- placement helpers ---------------------------------------------------
 
     def _params_update(self, vcpu: VCPU, tasks: List[Task]) -> ParamUpdate:
@@ -135,7 +159,13 @@ class PEDFGuestScheduler:
         bus.publish(
             T.ADMISSION_DECISION,
             T.AdmissionDecisionEvent(
-                machine.engine.now, "guest", op, task.name, granted, detail
+                machine.engine.now,
+                "guest",
+                op,
+                task.name,
+                granted,
+                detail,
+                self.vm.name,
             ),
         )
 
@@ -164,7 +194,7 @@ class PEDFGuestScheduler:
         vcpu = self._first_fit(task)
         if vcpu is not None:
             update = self._params_update(vcpu, vcpu.rt_tasks() + [task])
-            if self.vm.port.request_increase([update]):
+            if self._request_increase([update]):
                 vcpu.pin_task(task)
                 return vcpu
             raise AdmissionError(
@@ -198,13 +228,13 @@ class PEDFGuestScheduler:
                 update[1] * current.period_ns > current.budget_ns * update[2]
             )
             if increase:
-                if self.vm.port.request_increase([update]):
+                if self._request_increase([update]):
                     return current
                 task.set_requirement(*old)
                 raise AdmissionError(
                     f"host rejected increased bandwidth for {task.name}", level="host"
                 )
-            self.vm.port.notify_decrease([update])
+            self._notify_decrease([update])
             return current
         # Must move to another VCPU: INC_DEC_BW over both VCPUs at once.
         # CPU hotplug provides a fresh VCPU when none has room (§3.2).
@@ -216,7 +246,7 @@ class PEDFGuestScheduler:
                 self._params_update(target, target.rt_tasks() + [task]),
                 self._decrease_update(current, others),
             ]
-            if self.vm.port.request_increase(updates):
+            if self._request_increase(updates):
                 target.pin_task(task)
                 return target
             task.set_requirement(*old)
@@ -250,7 +280,7 @@ class PEDFGuestScheduler:
         if task.kind is TaskKind.BACKGROUND:
             return
         remaining = vcpu.rt_tasks()
-        self.vm.port.notify_decrease([self._decrease_update(vcpu, remaining)])
+        self._notify_decrease([self._decrease_update(vcpu, remaining)])
 
     # -- reshuffling and hotplug ------------------------------------------------
 
@@ -273,7 +303,7 @@ class PEDFGuestScheduler:
                 updates.append(self._params_update(vcpu, assigned))
             else:
                 updates.append(self._decrease_update(vcpu, []))
-        if not self.vm.port.request_increase(updates):
+        if not self._request_increase(updates):
             return None
         target = None
         for vcpu, assigned in zip(self.vm.vcpus, layout):
@@ -303,7 +333,7 @@ class PEDFGuestScheduler:
         if vcpu is None:
             return None
         update = self._params_update(vcpu, [task])
-        if self.vm.port.request_increase([update]):
+        if self._request_increase([update]):
             vcpu.pin_task(task)
             return vcpu
         return None

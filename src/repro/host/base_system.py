@@ -8,8 +8,11 @@ wiring.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
+from ..control import actions as A
+from ..control.port import ActuationPort
 from ..guest.vm import VM
 from ..metrics.deadlines import MissReport, collect_miss_report
 from ..simcore.engine import Engine
@@ -30,6 +33,32 @@ class BaseSystem:
     ) -> None:
         self.engine = engine if engine is not None else Engine()
         self.machine = Machine(self.engine, pcpu_count, cost_model, trace)
+        #: The actuation port every bandwidth/placement mutation flows
+        #: through.  The base system executes the generic mechanisms
+        #: (cross-layer port calls, PCPU faults); subclasses register
+        #: their own (host admission, scheduler renegotiation).
+        self.control = ActuationPort()
+        #: REPRO_DIRECT_ACTUATION=1 leaves the machine's port detached:
+        #: every call site falls back to its direct mechanism call (the
+        #: pre-refactor shape).  Only ``tools/check_perf.py`` uses this,
+        #: as the in-session baseline for the port-overhead A/B gate;
+        #: policies cannot attach while it is set.
+        if os.environ.get("REPRO_DIRECT_ACTUATION") == "1":
+            self.machine.control = None
+        else:
+            self.machine.control = self.control
+        self.control.register(
+            A.IncBandwidth.kind, lambda a: a.port.request_increase(a.updates)
+        )
+        self.control.register(
+            A.DecBandwidth.kind, lambda a: a.port.notify_decrease(a.updates)
+        )
+        self.control.register(
+            A.FailPcpu.kind, lambda a: a.system._do_fail_pcpu(a.pcpu_index)
+        )
+        self.control.register(
+            A.RecoverPcpu.kind, lambda a: a.system._do_recover_pcpu(a.pcpu_index)
+        )
         self.vms: List[VM] = []
         #: Tasks of VMs shut down mid-run (VM churn); kept so the miss
         #: report still covers their jobs.
@@ -113,11 +142,19 @@ class BaseSystem:
     # -- fault entry points --------------------------------------------------------
 
     def fail_pcpu(self, pcpu_index: int) -> None:
-        """Take a PCPU offline (see :meth:`Machine.fail_pcpu`)."""
-        self.machine.fail_pcpu(pcpu_index)
+        """Take a PCPU offline, routed through the actuation port."""
+        self.control.submit(A.FailPcpu(system=self, pcpu_index=pcpu_index))
 
     def recover_pcpu(self, pcpu_index: int) -> None:
-        """Bring a failed PCPU back online."""
+        """Bring a failed PCPU back online, through the actuation port."""
+        self.control.submit(A.RecoverPcpu(system=self, pcpu_index=pcpu_index))
+
+    def _do_fail_pcpu(self, pcpu_index: int) -> None:
+        """Mechanism half of :meth:`fail_pcpu` (subclasses renegotiate)."""
+        self.machine.fail_pcpu(pcpu_index)
+
+    def _do_recover_pcpu(self, pcpu_index: int) -> None:
+        """Mechanism half of :meth:`recover_pcpu`."""
         self.machine.recover_pcpu(pcpu_index)
 
     # -- run ------------------------------------------------------------------

@@ -62,6 +62,10 @@ class Machine:
         self.bus.watch(self._on_telemetry_change)
         self.trace = trace if trace is not None else NullTrace()
         self.metrics = HostMetrics()
+        #: The owning system's actuation port (set by ``BaseSystem``):
+        #: guest schedulers reach the control plane through the machine
+        #: they are attached to, the same way they reach the bus.
+        self.control = None
         self.vms: List[VM] = []
         self.host_scheduler = None
         self._vcpu_pcpu: Dict[int, int] = {}  # vcpu uid -> pcpu index

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments import registry
 from ..experiments.cluster_scale import assemble_cluster, cluster_unit_specs
+from ..experiments.feedback_adaptive import assemble_feedback, feedback_unit_specs
 from ..experiments.fig4_dynamic import FIG4_VM_COUNT, assemble_fig4
 from ..experiments.fig5_memcached import FIG5_SCHEDULERS, Fig5Result
 from ..experiments.robustness import ROBUSTNESS_SCHEDULERS, RobustnessResult
@@ -164,6 +165,10 @@ def _assemble_cluster(parts: Sequence[Any]):
     return assemble_cluster(list(parts))
 
 
+def _assemble_feedback(parts: Sequence[Any]):
+    return assemble_feedback(list(parts))
+
+
 # -- cost model (parallel scheduling hints) -------------------------------------------
 
 #: Cold-start fallback: serial wall seconds per work unit as measured
@@ -210,6 +215,11 @@ _FAMILY_COST_S: Dict[str, float] = {
     "cluster_rebalance": 0.1,
     "cluster_hostfail": 0.1,
     "cluster_clockskew": 0.05,
+    # feedback_* units run one (scenario, policy) cell each; the
+    # adaptive/credit cells carry the controller and ledger overhead.
+    "feedback_overrun": 0.6,
+    "feedback_migrate": 0.4,
+    "tenant_shed": 0.7,
 }
 
 _DEFAULT_COST_S = 0.15
@@ -448,6 +458,28 @@ def _cluster_plan(experiment_id: str, seed: Optional[int]) -> ExperimentPlan:
     return ExperimentPlan(experiment_id, units, _assemble_cluster)
 
 
+def _feedback_plan(experiment_id: str, seed: Optional[int]) -> ExperimentPlan:
+    """Per-policy shards: each unit runs one (scenario, policy) cell."""
+    units = tuple(
+        WorkUnit(
+            experiment_id=experiment_id,
+            unit_id=f"{experiment_id}/{label}",
+            fn="repro.experiments.feedback_adaptive:run_feedback_case",
+            kwargs=tuple(
+                sorted(
+                    {
+                        "duration_ns": registry.FEEDBACK_DURATION_NS,
+                        "seed": registry.FEEDBACK_SEED if seed is None else seed,
+                        **kwargs,
+                    }.items()
+                )
+            ),
+        )
+        for label, kwargs in feedback_unit_specs(experiment_id)
+    )
+    return ExperimentPlan(experiment_id, units, _assemble_feedback)
+
+
 _SHARDED_PLANS: Dict[str, Callable[[], ExperimentPlan]] = {
     "table1": _table1_plan,
     "sporadic": _sporadic_plan,
@@ -472,6 +504,8 @@ def plan_for(experiment_id: str, seed: Optional[int] = None) -> ExperimentPlan:
         return _robustness_plan(experiment_id, seed)
     if experiment_id.startswith("cluster_"):
         return _cluster_plan(experiment_id, seed)
+    if experiment_id.startswith("feedback_") or experiment_id.startswith("tenant_"):
+        return _feedback_plan(experiment_id, seed)
     builder = _SHARDED_PLANS.get(experiment_id)
     return builder() if builder else _whole_plan(experiment_id)
 

@@ -203,7 +203,13 @@ class BudgetDepleteEvent(NamedTuple):
 
 
 class AdmissionDecisionEvent(NamedTuple):
-    """An admission-control verdict at either scheduling layer."""
+    """An admission-control verdict at either scheduling layer.
+
+    ``vm``/``tenant`` carry the owning VM and tenant of the subject so
+    credit scoring and ``repro explain`` can attribute sheds/commits
+    without parsing names; both default empty for producers (guest
+    emits, baseline CSAs) that have no owner bookkeeping.
+    """
 
     time: int
     level: str  # "host" | "guest"
@@ -211,6 +217,8 @@ class AdmissionDecisionEvent(NamedTuple):
     subject: str  # vcpu/task name the decision is about
     granted: bool
     detail: str  # human-readable specifics ("0.25 of 4.0" etc.)
+    vm: str = ""  # owning VM name, when known
+    tenant: str = ""  # owning tenant, when a tenant resolver is bound
 
 
 class FaultInjectedEvent(NamedTuple):

@@ -1,0 +1,154 @@
+"""Unit tests for tenant SLOs and the online credit ledger."""
+
+import pytest
+
+from repro.control.tenants import (
+    W_BUDGET,
+    W_TAIL,
+    W_VIOLATION,
+    CreditLedger,
+    TenantSLO,
+    default_task_owner,
+)
+from repro.simcore.errors import ConfigurationError
+from repro.telemetry import events as T
+from repro.telemetry.bus import TelemetryBus
+from repro.simcore.time import usec
+
+
+def hit(task, time=0):
+    return T.DeadlineHitEvent(time, task, 0, 0, time)
+
+
+def miss(task, time=0):
+    return T.DeadlineMissEvent(time, task, 0, 0, time, 1)
+
+
+def latency(task, latency_ns, time=0):
+    return T.JobLatencyEvent(time, task, 0, latency_ns)
+
+
+def shed(vm, time=0):
+    return T.AdmissionDecisionEvent(
+        time, "host", "shed", f"{vm}-v0", False, "revoked 1/2", vm, ""
+    )
+
+
+def make_ledger(**kw):
+    slos = kw.pop(
+        "slos",
+        [TenantSLO("gold", 500.0, weight=4), TenantSLO("bronze", 500.0)],
+    )
+    vm_tenant = kw.pop("vm_tenant", {"g0": "gold", "b0": "bronze"})
+    return CreditLedger(slos, vm_tenant, **kw)
+
+
+class TestSLOValidation:
+    def test_non_positive_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSLO("t", 0.0)
+
+    def test_error_budget_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSLO("t", 500.0, error_budget=1.5)
+
+    def test_weight_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSLO("t", 500.0, weight=0)
+
+    def test_unknown_tenant_mapping_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CreditLedger([TenantSLO("gold", 500.0)], {"vm": "platinum"})
+
+    def test_default_task_owner_strips_rta_suffix(self):
+        assert default_task_owner("vm3.rta1") == "vm3"
+        assert default_task_owner("bare") == "bare"
+
+
+class TestScoring:
+    def test_fresh_tenant_scores_full_weighted_credit(self):
+        ledger = make_ledger()
+        assert ledger.credit("gold") == pytest.approx(4.0)
+        assert ledger.credit("bronze") == pytest.approx(1.0)
+
+    def test_misses_burn_the_error_budget(self):
+        ledger = make_ledger()
+        for _ in range(99):
+            ledger._on_hit(hit("b0.rta"))
+        ledger._on_miss(miss("b0.rta"))
+        # 1% miss ratio == the default 1% error budget: fully spent.
+        assert ledger.credit("bronze") == pytest.approx(W_VIOLATION + W_TAIL)
+
+    def test_violations_damp_repeat_offenders(self):
+        ledger = make_ledger()
+        ledger._on_admission(shed("b0"))
+        expected = W_BUDGET + W_VIOLATION / 2 + W_TAIL
+        assert ledger.credit("bronze") == pytest.approx(expected)
+
+    def test_tail_term_tracks_p99_over_target(self):
+        ledger = make_ledger()
+        for _ in range(10):
+            ledger._on_latency(latency("b0.rta", usec(1000)))
+        # p99 is 1000 µs against a 500 µs target: timeliness halves.
+        expected = W_BUDGET + W_VIOLATION + W_TAIL * 0.5
+        assert ledger.credit("bronze") == pytest.approx(expected)
+
+    def test_guest_and_commit_decisions_are_not_violations(self):
+        ledger = make_ledger()
+        ledger._on_admission(
+            T.AdmissionDecisionEvent(0, "guest", "shed", "s", False, "", "b0", "")
+        )
+        ledger._on_admission(
+            T.AdmissionDecisionEvent(0, "host", "commit", "s", True, "", "b0", "")
+        )
+        assert ledger.stats("bronze")["violations"] == 0
+
+    def test_unmapped_vm_events_are_ignored(self):
+        ledger = make_ledger()
+        ledger._on_miss(miss("stranger.rta"))
+        ledger._on_admission(shed("stranger"))
+        assert ledger.stats("gold")["missed"] == 0
+        assert ledger.stats("bronze")["violations"] == 0
+
+
+class TestBusWiring:
+    def test_attach_streams_bus_events(self):
+        bus = TelemetryBus()
+        ledger = make_ledger().attach(bus)
+        bus.publish(T.DEADLINE_HIT, hit("g0.rta"))
+        bus.publish(T.DEADLINE_MISS, miss("b0.rta"))
+        bus.publish(T.JOB_LATENCY, latency("g0.rta", usec(100)))
+        bus.publish(T.ADMISSION_DECISION, shed("b0"))
+        assert ledger.stats("gold") == {
+            "met": 1, "missed": 0, "violations": 0, "samples": 1
+        }
+        assert ledger.stats("bronze") == {
+            "met": 0, "missed": 1, "violations": 1, "samples": 0
+        }
+
+    def test_detach_stops_the_stream(self):
+        bus = TelemetryBus()
+        ledger = make_ledger().attach(bus)
+        ledger.detach()
+        bus.publish(T.DEADLINE_MISS, miss("b0.rta"))
+        assert ledger.stats("bronze")["missed"] == 0
+
+
+class TestShedOrder:
+    def test_unprotected_then_ascending_credit_newest_first(self):
+        ledger = make_ledger()
+        for _ in range(5):
+            ledger._on_miss(miss("b0.rta"))
+        uids = [1, 2, 3, 4]
+        owners = {1: "g0", 2: "b0", 3: "free", 4: "b0"}
+        # Unmapped "free" sheds first (no SLO protects it), then bronze
+        # (cheapest credit) newest VCPU first, gold last.
+        assert ledger.shed_order(uids, owners) == [3, 4, 2, 1]
+
+    def test_order_is_input_order_independent(self):
+        ledger = make_ledger()
+        uids = [5, 9, 2, 7]
+        owners = {5: "g0", 9: "b0", 2: "g0", 7: "b0"}
+        forward = ledger.shed_order(list(uids), owners)
+        backward = ledger.shed_order(list(reversed(uids)), owners)
+        assert forward == backward == [9, 7, 5, 2]

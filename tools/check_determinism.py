@@ -45,6 +45,17 @@ alone; it does not rerun the rest of the registry:
 
     python tools/check_determinism.py --cluster 4
 
+With ``--feedback N`` every ``feedback_*``/``tenant_*`` experiment (the
+adaptive-control family, sharded per policy cell) runs serially and
+again through the parallel work-unit runner with N worker processes,
+and each experiment's merged ``rows()`` hash must equal the serial hash
+— the gate that the policy head-to-head cells reassemble byte-
+identically however they were distributed over workers, and that a
+feedback-controller run is reproducible under its fixed seed.  Like
+``--cluster`` it stands alone:
+
+    python tools/check_determinism.py --feedback 4
+
 With ``--cache`` the selected experiments run twice through the runner
 against a fresh temporary cache directory — a cold run that writes
 every work unit, then a warm rerun that must execute *nothing* (every
@@ -271,6 +282,35 @@ def check_cluster(jobs: int, seed=None) -> list:
     return check_parallel(cluster_ids, digests, jobs, seed=seed)
 
 
+def check_feedback(jobs: int, seed=None) -> list:
+    """Control-plane gate: per-policy cells merge byte-identically.
+
+    Every ``feedback_*``/``tenant_*`` experiment runs each policy cell
+    as its own work unit, so the parallel runner may scatter the cells
+    of one head-to-head across workers.  The merged rows must hash
+    identically to the serial ``registry.run`` path regardless of that
+    distribution — which also pins down that runs with a feedback
+    controller or credit ledger attached are reproducible under the
+    family's fixed seed.
+    """
+    feedback_ids = [
+        i
+        for i in registry.all_ids()
+        if i.startswith("feedback_") or i.startswith("tenant_")
+    ]
+    digests = {}
+    for experiment_id in feedback_ids:
+        print(f"[determinism] running {experiment_id} ...", flush=True)
+        digests[experiment_id] = experiment_digest(experiment_id, seed=seed)
+        print(
+            f"[determinism]   {experiment_id}: "
+            f"{digests[experiment_id]['sha256'][:16]} "
+            f"({digests[experiment_id]['wall_s']}s)",
+            flush=True,
+        )
+    return check_parallel(feedback_ids, digests, jobs, seed=seed)
+
+
 def check_cache(ids, serial_digests, jobs: int = 1, seed=None) -> list:
     """Warm-cache gate: a cached rerun is byte-identical and actually hits.
 
@@ -419,6 +459,15 @@ def main(argv=None) -> int:
         "the registry)",
     )
     parser.add_argument(
+        "--feedback",
+        type=int,
+        metavar="JOBS",
+        help="run every feedback_*/tenant_* experiment serially and "
+        "through the parallel runner with JOBS processes and fail unless "
+        "the merged per-policy cells hash identically (does not rerun "
+        "the rest of the registry)",
+    )
+    parser.add_argument(
         "--queue",
         action="store_true",
         help="rerun every selected experiment under the reference heap "
@@ -440,15 +489,16 @@ def main(argv=None) -> int:
         or args.streams
         or args.blame
         or args.cluster
+        or args.feedback
         or args.queue
         or args.cache
     ):
         parser.error(
             "one of --record, --check, --parallel, --streams, --blame, "
-            "--cluster, --queue or --cache is required"
+            "--cluster, --feedback, --queue or --cache is required"
         )
 
-    if args.parallel or args.streams or args.blame or args.cluster:
+    if args.parallel or args.streams or args.blame or args.cluster or args.feedback:
         # The cross-process gates must actually cross processes, even on
         # hosts where the executor would collapse the pool to one CPU.
         os.environ["REPRO_RUNNER_FORCE_POOL"] = "1"
@@ -487,6 +537,8 @@ def main(argv=None) -> int:
         failures.extend(check_blame(args.blame, seed=args.seed))
     if args.cluster:
         failures.extend(check_cluster(args.cluster, seed=args.seed))
+    if args.feedback:
+        failures.extend(check_feedback(args.feedback, seed=args.seed))
 
     if args.record:
         with open(args.record, "w") as fh:
@@ -526,6 +578,8 @@ def main(argv=None) -> int:
         checks.append("blame-reports")
     if args.cluster:
         checks.append("cluster-shards")
+    if args.feedback:
+        checks.append("feedback-cells")
     suffix = f" ({' + '.join(checks)})" if checks else ""
     standalone = []
     if args.streams:
@@ -534,6 +588,8 @@ def main(argv=None) -> int:
         standalone.append("blame sweep")
     if args.cluster:
         standalone.append("cluster shards")
+    if args.feedback:
+        standalone.append("feedback cells")
     if run_registry or args.cache:
         subject = f"{len(ids)} experiments"
     else:

@@ -27,6 +27,15 @@ bounding the cost of the instrumentation's zero-subscriber fast path.
 the same way: with no SpanBuilder attached and no profiler installed,
 the producers and hooks added for causal tracing must cost nothing.
 
+``--control-tolerance`` (default 5%) gates the control plane's
+zero-policy promise: a renegotiation-heavy experiment subset runs twice
+per round in the same session — once with ``REPRO_DIRECT_ACTUATION=1``
+(the pre-refactor direct-call shape, ``machine.control`` detached) and
+once through the actuation port with no observers — and the median
+ported/direct wall ratio over interleaved pairs must stay within the
+tolerance.  In-session A/B is what makes 5% measurable: committed
+baselines drift with machine load, paired passes don't.
+
 The engine benchmark compares best-of-``--repeat`` fresh runs so a
 loaded machine does not trip the gate spuriously; raise ``--repeat``
 (or the tolerances) on noisy hardware.  Exit status: 0 on pass, 1 on
@@ -174,8 +183,66 @@ def check_parallel_overhead(tolerance: float) -> int:
     return 0 if parallel <= ceiling else 2
 
 
+#: Renegotiation-heavy, policy-free experiments for the port A/B gate:
+#: sporadic mode changes, periodic group renegotiation, hypercall faults.
+CONTROL_GATE_SUBSET = ("sporadic", "table1", "robustness_hypercall")
+
+
+def check_control_overhead(tolerance: float, repeat: int = 3) -> int:
+    """No-controller gate: the actuation port must cost ≤ *tolerance*.
+
+    Every bandwidth mutation now flows through the actuation port; with
+    no policy observing, ``submit()`` is one dict lookup plus the very
+    mechanism call the call site used to make directly.  This gate runs
+    a renegotiation-heavy experiment subset (smoke variants of
+    ``CONTROL_GATE_SUBSET``) twice per round — once with
+    ``REPRO_DIRECT_ACTUATION=1``, which leaves ``machine.control``
+    detached so every call site takes its pre-refactor direct-call
+    shape, and once through the port with no observers.  Comparing the
+    two shapes *in the same session*, interleaved back to back, is what
+    makes a 5% verdict meaningful on shared hardware: a committed
+    baseline drifts with machine load, but pair-local noise lands on
+    both shapes alike.  The gated statistic is the median of the
+    per-pair ported/direct wall ratios over *repeat* pairs.
+    """
+    import os as _os
+    import statistics
+    import time as _time
+
+    from repro.experiments import registry
+
+    def one_pass() -> float:
+        started = _time.perf_counter()
+        for experiment_id in CONTROL_GATE_SUBSET:
+            registry.run_smoke(experiment_id)
+        return _time.perf_counter() - started
+
+    def direct_pass() -> float:
+        _os.environ["REPRO_DIRECT_ACTUATION"] = "1"
+        try:
+            return one_pass()
+        finally:
+            del _os.environ["REPRO_DIRECT_ACTUATION"]
+
+    direct_pass()  # warm-up: steady-state cost is what the gate is about
+    one_pass()
+    pairs = [(direct_pass(), one_pass()) for _ in range(max(3, repeat))]
+    ratio = statistics.median(p / d for d, p in pairs)
+    direct = min(d for d, _ in pairs)
+    verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSION"
+    print(
+        f"check_perf: no-controller actuation gate: ported/direct median "
+        f"ratio {ratio:.3f} over {len(pairs)} pairs of "
+        f"{'+'.join(CONTROL_GATE_SUBSET)} smoke runs "
+        f"(direct best {direct:.2f}s, tolerance {tolerance:.0%}): {verdict}"
+    )
+    return 0 if ratio <= 1.0 + tolerance else 2
+
+
 def check_registry_wall(
-    tolerance: float, jobs: int = 0, max_unit_s: float = 18.0
+    tolerance: float,
+    jobs: int = 0,
+    max_unit_s: float = 18.0,
 ) -> int:
     """Full-registry gate: parallel wall time vs ``BENCH_registry.json``.
 
@@ -185,6 +252,12 @@ def check_registry_wall(
     longer than *max_unit_s* (0 disables), the shard-granularity
     contract that keeps the parallel critical path — and hence the
     warm-edit turnaround — bounded by one shard, not one experiment.
+
+    A second wall comparison at the same *tolerance* sums the per-unit
+    times over the units present in both the baseline and the fresh
+    run, which keeps the verdict meaningful when the registry grows new
+    experiments after the baseline was recorded (the absolute parallel
+    wall would then compare different workloads).
     """
     if not os.path.exists(REGISTRY_BASELINE):
         print(f"check_perf: no committed baseline at {REGISTRY_BASELINE}")
@@ -207,6 +280,21 @@ def check_registry_wall(
         f"(ceiling {ceiling:.1f}s, tolerance {tolerance:.0%}): {verdict}"
     )
     failed = fresh["wall_s"] > ceiling
+    base_units = baseline.get("per_unit_serial_s") or {}
+    fresh_units = fresh.get("per_unit_s") or {}
+    shared = set(base_units) & set(fresh_units)
+    if shared:
+        base_sum = sum(base_units[unit] for unit in shared)
+        fresh_sum = sum(fresh_units[unit] for unit in shared)
+        comparable_ceiling = base_sum * (1.0 + tolerance)
+        shared_verdict = "ok" if fresh_sum <= comparable_ceiling else "REGRESSION"
+        print(
+            f"check_perf: comparable wall {fresh_sum:.1f}s vs baseline "
+            f"{base_sum:.1f}s over {len(shared)} shared units "
+            f"(ceiling {comparable_ceiling:.1f}s, "
+            f"tolerance {tolerance:.0%}): {shared_verdict}"
+        )
+        failed = failed or fresh_sum > comparable_ceiling
     if max_unit_s > 0 and fresh.get("per_unit_s"):
         slowest_id, slowest = max(
             fresh["per_unit_s"].items(), key=lambda item: item[1]
@@ -252,6 +340,13 @@ def main(argv=None) -> int:
         "(default 0.05; 0 disables the gate)",
     )
     parser.add_argument(
+        "--control-tolerance", type=float, default=0.05,
+        help="allowed no-controller overhead of the actuation-port path "
+        "vs the direct-call shape (REPRO_DIRECT_ACTUATION=1) on a "
+        "renegotiation-heavy experiment subset, compared in-session "
+        "(default 0.05; 0 disables the gate)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=3,
         help="benchmark runs; the best one is compared (default 3)",
     )
@@ -290,6 +385,10 @@ def main(argv=None) -> int:
         return status
     if not args.skip_parallel:
         status = check_parallel_overhead(args.parallel_tolerance)
+        if status:
+            return status
+    if args.control_tolerance > 0:
+        status = check_control_overhead(args.control_tolerance, args.repeat)
         if status:
             return status
     if args.skip_registry:
