@@ -71,9 +71,16 @@ def build_system() -> RTXenSystem:
     return system
 
 
-def run_benchmark(duration_ns: int = DEFAULT_DURATION_NS) -> dict:
-    """Run the scenario and return the throughput record."""
+def run_benchmark(duration_ns: int = DEFAULT_DURATION_NS, setup=None) -> dict:
+    """Run the scenario and return the throughput record.
+
+    *setup* is called with the built system before the timed run — the
+    hook ``tools/check_perf.py`` uses to measure overhead shapes (e.g.
+    a flight recorder attached and detached again) on the same workload.
+    """
     system = build_system()
+    if setup is not None:
+        setup(system)
     started = time.perf_counter()
     system.run(duration_ns)
     wall_s = time.perf_counter() - started

@@ -10,11 +10,16 @@
     python -m repro cache prune --max-bytes 50000000    # LRU eviction
     python -m repro explain robustness_pcpu_fail        # why did jobs miss?
     python -m repro explain robustness_pcpu_fail --job vm2.rta1#15
+    python -m repro trace record robustness_pcpu_fail -o fail.rtvt
+    python -m repro trace replay fail.rtvt --scheduler Credit --diff
+    python -m repro trace diff fail.rtvt whatif.rtvt    # first divergence
+    python -m repro explain fail.rtvt                   # blame from a trace
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -87,6 +92,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each experiment's summary after the timing table",
     )
+    run_all.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="PATH",
+        help="run-ledger root; every run-all writes "
+        "<runs-dir>/<stamp>/manifest.json (default ./runs)",
+    )
+    run_all.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not write a run-ledger manifest",
+    )
+    run_all.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record the robustness sweep's flight-recorder traces "
+        "and store the merged trace next to the manifest",
+    )
     cache = sub.add_parser(
         "cache", help="inspect and manage the run-all result cache"
     )
@@ -106,7 +129,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="prune target: evict least-recently-used entries until the "
-        "cache holds at most N bytes",
+        "cache plus the run ledger hold at most N bytes",
+    )
+    cache.add_argument(
+        "--runs-dir",
+        default="runs",
+        metavar="PATH",
+        help="run-ledger root included in stats and the prune sweep "
+        "(default ./runs)",
     )
     cluster = sub.add_parser(
         "cluster",
@@ -235,6 +265,78 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worst misses listed per scheduler (default 5)",
     )
+    trace = sub.add_parser(
+        "trace",
+        help="flight recorder: record, inspect, replay and diff "
+        "durable telemetry traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    t_record = trace_sub.add_parser(
+        "record", help="run once with the flight recorder attached"
+    )
+    t_record.add_argument(
+        "target",
+        help="a robustness_<fault> experiment id or a scenario JSON path",
+    )
+    t_record.add_argument(
+        "-o",
+        "--output",
+        metavar="PATH",
+        help="trace file to write (default <target>.rtvt)",
+    )
+    t_record.add_argument(
+        "--scheduler",
+        default="RTVirt",
+        help="scheduler for robustness targets (default RTVirt)",
+    )
+    t_record.add_argument(
+        "--duration-s",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="simulated seconds for robustness targets (default 5)",
+    )
+    t_record.add_argument(
+        "--seed", type=int, default=11, metavar="N", help="RNG seed (default 11)"
+    )
+    t_inspect = trace_sub.add_parser(
+        "inspect", help="print a trace's header, counts and canonical hash"
+    )
+    t_inspect.add_argument("path", help="recorded .rtvt trace file")
+    t_replay = trace_sub.add_parser(
+        "replay",
+        help="re-drive a recorded stimulus, optionally under a "
+        "different scheduler (what-if)",
+    )
+    t_replay.add_argument("path", help="recorded .rtvt trace file")
+    t_replay.add_argument(
+        "--scheduler",
+        default=None,
+        help="what-if scheduler override (default: the recorded one)",
+    )
+    t_replay.add_argument(
+        "--record",
+        metavar="PATH",
+        help="also record the replay itself to PATH",
+    )
+    t_replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="diff the replay's trace against the original and print "
+        "the first divergence",
+    )
+    t_diff = trace_sub.add_parser(
+        "diff", help="structural divergence diff of two recorded traces"
+    )
+    t_diff.add_argument("path_a", help="first trace (A)")
+    t_diff.add_argument("path_b", help="second trace (B)")
+    t_diff.add_argument(
+        "--context",
+        type=int,
+        default=3,
+        metavar="N",
+        help="shared events shown before the divergence (default 3)",
+    )
     return parser
 
 
@@ -335,11 +437,71 @@ def _cmd_run_all(args) -> int:
     print(
         f"total: {report.wall_s:.1f}s wall with {report.jobs} job(s); {cache_note}"
     )
+    if not args.no_ledger:
+        _write_run_ledger(args, report)
     if args.summaries:
         for r in report.reports:
             print(f"\n=== {r.experiment_id}")
             print(r.summary)
     return 0
+
+
+def _write_run_ledger(args, report) -> None:
+    """Persist this run-all as a ledger entry under ``<runs-dir>/<stamp>``."""
+    from .runner import ledger
+    from .simcore.events import active_queue_class
+
+    stamp, run_dir = ledger.new_run_dir(args.runs_dir)
+    manifest = {
+        "stamp": stamp,
+        "git_sha": ledger.git_sha(),
+        "seed": args.seed,
+        "jobs": report.jobs,
+        "wall_s": round(report.wall_s, 2),
+        "event_queue": active_queue_class().__name__,
+        "cache": {
+            "enabled": not args.no_cache,
+            "hits": report.cache_hits,
+            "misses": report.cache_misses,
+            "writes": report.cache_writes,
+        },
+        "experiments": {
+            r.experiment_id: {
+                "rows": len(r.rows),
+                "rows_sha256": ledger.rows_hash(r.rows),
+                "units": r.units,
+                "cached_units": r.cached_units,
+                "unit_wall_s": round(r.unit_wall_s, 3),
+                "unit_walls": {u: round(w, 3) for u, w in r.unit_walls.items()},
+            }
+            for r in report.reports
+        },
+    }
+    if args.trace:
+        from .runner.executor import execute_plan
+        from .telemetry.trace_plan import trace_plan
+
+        bundle = execute_plan(trace_plan(), jobs=report.jobs)
+        trace_path = bundle.write(os.path.join(run_dir, "robustness.rtvt"))
+        manifest["trace"] = {
+            "path": os.path.basename(trace_path),
+            "sha256": bundle.merged_hash,
+            "events": sum(p["events"] for p in bundle.parts),
+            "parts": [
+                {
+                    "fault": p["fault"],
+                    "scheduler": p["scheduler"],
+                    "sha256": p["hash"],
+                }
+                for p in bundle.parts
+            ],
+        }
+        print(
+            f"[run-all] recorded {manifest['trace']['events']} trace events "
+            f"-> {trace_path} (hash {bundle.merged_hash[:16]})"
+        )
+    path = ledger.write_manifest(run_dir, manifest)
+    print(f"[run-all] ledger: {path}")
 
 
 def _format_bytes(count: int) -> str:
@@ -352,6 +514,7 @@ def _format_bytes(count: int) -> str:
 
 
 def _cmd_cache(args) -> int:
+    from .runner import ledger
     from .runner.cache import ResultCache
 
     # Maintenance never hashes sources: pin an unused salt.
@@ -373,23 +536,44 @@ def _cmd_cache(args) -> int:
             )
         else:
             print("  last run: no recorded run")
+        runs = ledger.runs_stats(args.runs_dir)
+        print(f"runs ledger: {runs['root']}")
+        print(f"  runs: {runs['runs']}")
+        print(f"  size: {_format_bytes(runs['total_bytes'])}")
         return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} entries from {cache.path}")
         return 0
-    # prune
+    # prune: one LRU-by-mtime sweep over cache entries AND ledger runs
+    # (a run directory is one unit — it is evicted whole).
     if args.max_bytes is None:
         print("cache prune requires --max-bytes N", file=sys.stderr)
         return 2
-    try:
-        removed, remaining = cache.prune(args.max_bytes)
-    except ValueError as exc:
-        print(exc.args[0], file=sys.stderr)
+    if args.max_bytes < 0:
+        print(f"max_bytes must be >= 0, got {args.max_bytes}", file=sys.stderr)
         return 2
+    victims = sorted(
+        [("cache", p, s, m) for p, s, m in cache.entries()]
+        + [("run", p, s, m) for p, s, m in ledger.run_entries(args.runs_dir)],
+        key=lambda e: (e[3], e[1]),
+    )
+    total = sum(size for _kind, _path, size, _mtime in victims)
+    cache_victims: List[str] = []
+    removed_runs = 0
+    for kind, path, size, _mtime in victims:
+        if total <= args.max_bytes:
+            break
+        if kind == "cache":
+            cache_victims.append(path)
+        else:
+            ledger.remove_run(path)
+            removed_runs += 1
+        total -= size
+    removed = cache.evict(cache_victims)
     print(
-        f"pruned {removed} entries from {cache.path}; "
-        f"{_format_bytes(remaining)} remain"
+        f"pruned {removed} cache entries and {removed_runs} ledger runs; "
+        f"{_format_bytes(total)} remain"
     )
     return 0
 
@@ -585,7 +769,52 @@ def _explain_feedback(args) -> int:
     return 0
 
 
+def _is_trace(path: str) -> bool:
+    """True when *path* is a flight-recorder trace (RTVT magic)."""
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(4) == b"RTVT"
+    except OSError:
+        return False
+
+
+def _explain_trace(args) -> int:
+    """Offline blame: rebuild causal spans from a recorded trace."""
+    from .report.ascii import render_blame_table
+    from .telemetry.blame import analyze_spans
+    from .telemetry.record import TraceReader
+    from .telemetry.replay import spans_from_trace
+
+    reader = TraceReader(args.target)
+    header = reader.header
+    label = header.get("fault") or header.get("name") or args.target
+    print(
+        f"trace {args.target}: {header.get('format', '?')} {label} under "
+        f"{header.get('scheduler', '?')}, {reader.event_count} events, "
+        f"hash {reader.trace_hash[:16]}\n"
+    )
+    builder = spans_from_trace(reader)
+    report, misses = analyze_spans(builder)
+    print(render_blame_table(report.snapshot()))
+    if args.job:
+        print()
+        return _print_timelines(builder, args.job, args.misses)
+    worst = sorted(misses, key=lambda m: -m["lateness_ns"])[: args.misses]
+    if worst:
+        print("worst misses:")
+        for m in worst:
+            print(
+                f"  {m['task']}#{m['job']} +{m['lateness_ns'] / 1e6:.3f}ms "
+                f"primary={m['primary']}"
+            )
+    return 0
+
+
 def _cmd_explain(args) -> int:
+    if _is_trace(args.target):
+        return _explain_trace(args)
     if args.target.endswith(".json"):
         return _explain_scenario(args)
     from .experiments.feedback_adaptive import FEEDBACK_CELLS
@@ -652,6 +881,129 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _trace_record(args) -> int:
+    from .experiments.common import format_table
+
+    if args.target.endswith(".json"):
+        from .telemetry.replay import record_scenario_file
+
+        output = args.output or args.target[: -len(".json")] + ".rtvt"
+        recorded = record_scenario_file(args.target, output)
+    else:
+        from .experiments.robustness import ROBUSTNESS_FAULTS
+        from .simcore.time import sec
+        from .telemetry.replay import canonical_scheduler, record_robustness_case
+
+        fault = args.target
+        if fault.startswith("robustness_"):
+            fault = fault[len("robustness_"):]
+        if fault not in ROBUSTNESS_FAULTS:
+            known = ", ".join(f"robustness_{f}" for f in ROBUSTNESS_FAULTS)
+            print(
+                f"unknown target {args.target!r}; pick a scenario .json or "
+                f"one of: {known}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            scheduler = canonical_scheduler(args.scheduler)
+        except ValueError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        output = args.output or f"robustness_{fault}.rtvt"
+        recorded = record_robustness_case(
+            fault, scheduler, sec(args.duration_s), args.seed, path=output
+        )
+    reader = recorded.reader()
+    print(format_table(recorded.rows, title="recorded run"))
+    print(
+        f"trace: {reader.event_count} events, "
+        f"hash {reader.trace_hash[:16]} -> {output}"
+    )
+    return 0
+
+
+def _trace_inspect(args) -> int:
+    from .experiments.common import format_table
+    from .telemetry.record import TraceReader
+
+    reader = TraceReader(args.path)
+    print(f"trace: {args.path}")
+    for key in sorted(reader.header):
+        if key == "spec":
+            continue  # a full scenario spec is too bulky for a one-liner
+        print(f"  {key}: {reader.header[key]}")
+    print(f"  events: {reader.event_count}")
+    if reader.strings is not None:
+        print(f"  strings: {len(reader.strings)} interned")
+    print(f"  hash: {reader.trace_hash}")
+    for section in reader.sections:
+        print(
+            f"  section {section['label']}: {section['events']} events, "
+            f"hash {section['hash'][:16]}"
+        )
+    for key in sorted(reader.meta):
+        print(f"  meta.{key}: {reader.meta[key]}")
+    rows = [
+        {"kind": kind, "count": reader.counts[kind]}
+        for kind in sorted(reader.counts)
+    ]
+    print(format_table(rows, title="event counts"))
+    return 0
+
+
+def _trace_replay(args) -> int:
+    from .experiments.common import format_table
+    from .telemetry.replay import replay_trace
+
+    try:
+        result = replay_trace(
+            args.path,
+            scheduler=args.scheduler,
+            record_path=args.record,
+            record=args.diff,
+        )
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(format_table(result.rows, title=f"replay under {result.scheduler}"))
+    if result.scheduler == result.header.get("scheduler"):
+        verdict = "MATCH" if result.rows_match() else "DIVERGED"
+        print(f"round trip vs recorded rows: {verdict}")
+    else:
+        print(
+            f"what-if: recorded under {result.header.get('scheduler')}, "
+            f"replayed under {result.scheduler}"
+        )
+    if args.record:
+        print(f"replay trace -> {args.record}")
+    if args.diff:
+        from .telemetry.diff import diff_traces
+        from .telemetry.record import TraceReader
+
+        print()
+        print(diff_traces(TraceReader(args.path), result.reader()).summary())
+    return 0
+
+
+def _trace_diff(args) -> int:
+    from .telemetry.diff import diff_traces
+
+    diff = diff_traces(args.path_a, args.path_b, context=args.context)
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+def _cmd_trace(args) -> int:
+    if args.trace_command == "record":
+        return _trace_record(args)
+    if args.trace_command == "inspect":
+        return _trace_inspect(args)
+    if args.trace_command == "replay":
+        return _trace_replay(args)
+    return _trace_diff(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -667,6 +1019,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args.ids, blame=args.blame)
 
 

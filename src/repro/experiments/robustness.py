@@ -70,8 +70,15 @@ WORKLOAD: Tuple[Tuple[Tuple[int, int], ...], ...] = (
 )
 
 
-def build_system(scheduler: str, pcpu_count: int = PCPU_COUNT):
-    """The baseline three-VM workload under *scheduler*; drivers started."""
+def build_system(
+    scheduler: str, pcpu_count: int = PCPU_COUNT, start_drivers: bool = True
+):
+    """The baseline three-VM workload under *scheduler*; drivers started.
+
+    ``start_drivers=False`` builds the same VMs and tasks but leaves the
+    release sources to the caller — trace replay substitutes recorded
+    release timelines for the periodic drivers.
+    """
     if scheduler == "RTVirt":
         system = RTVirtSystem(pcpu_count=pcpu_count)
     elif scheduler == "RT-Xen":
@@ -96,8 +103,40 @@ def build_system(scheduler: str, pcpu_count: int = PCPU_COUNT):
                 system.register_rta(vm, task)
             else:
                 vm.register_task(task)
-            PeriodicDriver(system.engine, vm, task).start()
+            if start_drivers:
+                PeriodicDriver(system.engine, vm, task).start()
     return system
+
+
+def case_row(
+    fault: str,
+    scheduler: str,
+    system,
+    ctx,
+    checker: Optional[InvariantChecker],
+) -> Dict[str, object]:
+    """The metric row of one finished (fault, scheduler) run.
+
+    Shared by :func:`run_robustness_case` and trace replay so a replayed
+    run computes its row through the exact same code path — the
+    round-trip exactness tests compare these rows byte for byte.
+    """
+    report = system.miss_report()
+    fault_time = ctx.first_fault_time()
+    recovery_ns = (
+        report.recovery_latency_ns(fault_time) if fault_time is not None else 0
+    )
+    decided = report.total_met + report.total_missed
+    return {
+        "fault": fault,
+        "scheduler": scheduler,
+        "released": report.total_released,
+        "missed": report.total_missed,
+        "miss_pct": round(100.0 * report.total_missed / decided, 3) if decided else 0.0,
+        "recovery_ms": round(recovery_ns / MSEC, 3),
+        "faults": len(ctx.log),
+        "checks": checker.checks if checker else 0,
+    }
 
 
 def build_scenario(fault: str, duration_ns: int) -> Scenario:
@@ -170,22 +209,7 @@ def run_robustness_case(
         system, RandomStreams(seed)
     )
     system.run(duration_ns)
-    report = system.miss_report()
-    fault_time = ctx.first_fault_time()
-    recovery_ns = (
-        report.recovery_latency_ns(fault_time) if fault_time is not None else 0
-    )
-    decided = report.total_met + report.total_missed
-    return {
-        "fault": fault,
-        "scheduler": scheduler,
-        "released": report.total_released,
-        "missed": report.total_missed,
-        "miss_pct": round(100.0 * report.total_missed / decided, 3) if decided else 0.0,
-        "recovery_ms": round(recovery_ns / MSEC, 3),
-        "faults": len(ctx.log),
-        "checks": checker.checks if checker else 0,
-    }
+    return case_row(fault, scheduler, system, ctx, checker)
 
 
 @dataclass

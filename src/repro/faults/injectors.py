@@ -226,14 +226,14 @@ class VmChurn(Fault):
         try:
             vm = self._boot(system, name, task)
         except (AdmissionError, ConfigurationError) as exc:
-            ctx.record(self.kind, name, "rejected", str(exc))
+            ctx.record(self.kind, name, "rejected", str(exc), *self._params())
             return
         if vm is None:
-            ctx.record(self.kind, name, "rejected", "admission")
+            ctx.record(self.kind, name, "rejected", "admission", *self._params())
             return
         driver = PeriodicDriver(ctx.engine, vm, task).start()
         ctx._drivers[name] = [driver]
-        ctx.record(self.kind, name, "boot")
+        ctx.record(self.kind, name, "boot", *self._params())
         ctx.engine.after(
             self.lifetime_ns,
             self._shutdown,
@@ -243,6 +243,15 @@ class VmChurn(Fault):
             priority=PRIORITY_FAULT,
             name=f"fault:{self.kind}:shutdown",
         )
+
+    def _params(self) -> tuple:
+        """Reconstruction parameters appended to every boot/reject record.
+
+        Trace replay rebuilds the churn fault from its telemetry record
+        alone; appending (never reordering) keeps older positional
+        consumers and the ``_RECOVERY_MARKERS`` tail check intact.
+        """
+        return (self.slice_ns, self.period_ns, self.lifetime_ns)
 
     def _boot(self, system, name: str, task: Task):
         """System-appropriate VM boot + task registration."""
@@ -346,7 +355,11 @@ class WorkloadSurge(Fault):
     def apply(self, ctx: FaultContext) -> None:
         vm = next((v for v in ctx.system.vms if v.name == self.vm_name), None)
         if vm is None:
-            ctx.record(self.kind, self.vm_name, "no-such-vm")
+            # num/den/duration appended for trace-replay reconstruction
+            ctx.record(
+                self.kind, self.vm_name, "no-such-vm",
+                self.num, self.den, self.duration_ns,
+            )
             return
         reverts = []
         applied = rejected = 0
@@ -362,7 +375,10 @@ class WorkloadSurge(Fault):
                 continue
             applied += 1
             reverts.append((task, old_slice, task.period_ns))
-        ctx.record(self.kind, self.vm_name, applied, rejected)
+        ctx.record(
+            self.kind, self.vm_name, applied, rejected,
+            self.num, self.den, self.duration_ns,
+        )
         if reverts:
             ctx.engine.after(
                 self.duration_ns,

@@ -31,7 +31,11 @@ class VCPU:
     def __init__(self, vm, index: int) -> None:
         self.vm = vm
         self.index = index
+        # Provisional process-global uid; machine attach replaces it
+        # with a dense engine-scoped one (see Machine.attach_vm) so
+        # recorded telemetry is reproducible across processes.
         self.uid = next(VCPU._ids)
+        self.uid_final = False
         self.name = f"{vm.name}.vcpu{index}"
         #: Idle-report event name, formatted once instead of per report.
         self.idle_name = f"idle:{self.name}"

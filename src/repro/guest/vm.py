@@ -191,6 +191,9 @@ class VM:
         if len(self.vcpus) >= self.max_vcpus:
             return None
         vcpu = VCPU(self, len(self.vcpus))
+        if self.machine is not None:
+            vcpu.uid = self.machine.engine.next_uid()
+            vcpu.uid_final = True
         self.vcpus.append(vcpu)
         self.port.vcpu_added(vcpu)
         return vcpu

@@ -165,6 +165,12 @@ class Machine:
         if vm.machine is not None:
             raise ConfigurationError(f"VM {vm.name} is already attached")
         vm.machine = self
+        for vcpu in vm.vcpus:
+            # Replace the provisional process-global uid with a dense
+            # engine-scoped one (stable across re-attach on migration).
+            if not vcpu.uid_final:
+                vcpu.uid = self.engine.next_uid()
+                vcpu.uid_final = True
         self.vms.append(vm)
         vm.guest_scheduler.bind_telemetry(self.bus)
         if vm._is_gedf:

@@ -421,6 +421,23 @@ class ResultCache:
         self._remove_empty_fanout_dirs()
         return removed, total
 
+    def evict(self, paths) -> int:
+        """Unlink specific entry files (a combined-LRU caller picked them).
+
+        ``repro cache prune`` sweeps the result cache and the run ledger
+        together; it decides the victims across both stores and hands the
+        cache's share here.  Returns how many entries were removed.
+        """
+        removed = 0
+        for entry_path in paths:
+            try:
+                os.unlink(entry_path)
+                removed += 1
+            except OSError:
+                pass
+        self._remove_empty_fanout_dirs()
+        return removed
+
     def _remove_empty_fanout_dirs(self) -> None:
         if not os.path.isdir(self.path):
             return

@@ -54,6 +54,31 @@ class ScenarioResult:
     report: MissReport
     system: Any = field(repr=False, default=None)
 
+    def rows(self) -> List[Dict[str, Any]]:
+        """Per-task metric rows (plus a TOTAL row), stable order."""
+        rows: List[Dict[str, Any]] = []
+        for task_name in sorted(self.report.per_task):
+            stats = self.report.per_task[task_name]
+            rows.append(
+                {
+                    "task": task_name,
+                    "released": stats.released,
+                    "met": stats.met,
+                    "missed": stats.missed,
+                    "miss_pct": round(stats.miss_ratio * 100, 3),
+                }
+            )
+        rows.append(
+            {
+                "task": "TOTAL",
+                "released": self.report.total_released,
+                "met": self.report.total_met,
+                "missed": self.report.total_missed,
+                "miss_pct": round(self.report.overall_miss_ratio * 100, 3),
+            }
+        )
+        return rows
+
     def summary(self) -> str:
         lines = [
             f"scenario {self.name!r}: {self.duration_ns / SEC:g}s simulated",
@@ -118,12 +143,30 @@ def _rtxen_interface(vm_spec: Dict[str, Any], tasks: List[Task]):
     return iface.budget, iface.period
 
 
-def run_scenario(
+@dataclass
+class ScenarioBuild:
+    """A scenario system built but not yet run.
+
+    ``task_vms`` maps task name to its ``(vm, task)`` pair; trace replay
+    uses it (with ``start_drivers=False``) to re-drive recorded release
+    timelines through the same VMs the live run used.
+    """
+
+    system: Any
+    mux: ArrivalMux
+    duration_ns: int
+    streams: RandomStreams
+    all_tasks: List[Task]
+    task_vms: Dict[str, Any]
+
+
+def build_scenario_system(
     spec: Dict[str, Any],
     name: str = "scenario",
     attach: Optional[Any] = None,
-) -> ScenarioResult:
-    """Build and run the scenario described by *spec*.
+    start_drivers: bool = True,
+) -> ScenarioBuild:
+    """Build the system, VMs and tasks of *spec*; optionally start drivers.
 
     *attach*, when given, is called with the freshly built system before
     any VM is created — the hook observers use to subscribe telemetry
@@ -139,6 +182,7 @@ def run_scenario(
     system_kind = spec.get("system", {}).get("type", "rtvirt")
     mux = ArrivalMux(system.engine, name=name)
     all_tasks: List[Task] = []
+    task_vms: Dict[str, Any] = {}
 
     for vm_spec in spec.get("vms", []):
         vm_name = _require(vm_spec, "name", "vm")
@@ -170,6 +214,9 @@ def run_scenario(
                 vm.register_task(task)
         for task, task_spec in zip(tasks, vm_spec.get("tasks", [])):
             all_tasks.append(task)
+            task_vms[task.name] = (vm, task)
+            if not start_drivers:
+                continue
             if task.kind is TaskKind.SPORADIC:
                 SporadicDriver(
                     system.engine,
@@ -193,13 +240,33 @@ def run_scenario(
                     phase_ns=msec(task_spec.get("phase_ms", 0)),
                 ).start()
 
-    system.run(duration_ns)
-    system.finalize()
+    return ScenarioBuild(
+        system=system,
+        mux=mux,
+        duration_ns=duration_ns,
+        streams=streams,
+        all_tasks=all_tasks,
+        task_vms=task_vms,
+    )
+
+
+def run_scenario(
+    spec: Dict[str, Any],
+    name: str = "scenario",
+    attach: Optional[Any] = None,
+) -> ScenarioResult:
+    """Build and run the scenario described by *spec*.
+
+    *attach* is forwarded to :func:`build_scenario_system`.
+    """
+    build = build_scenario_system(spec, name=name, attach=attach)
+    build.system.run(build.duration_ns)
+    build.system.finalize()
     return ScenarioResult(
         name=name,
-        duration_ns=duration_ns,
-        report=collect_miss_report(all_tasks),
-        system=system,
+        duration_ns=build.duration_ns,
+        report=collect_miss_report(build.all_tasks),
+        system=build.system,
     )
 
 

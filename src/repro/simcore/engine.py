@@ -30,6 +30,7 @@ class Engine:
         "_post_hooks",
         "_events_processed",
         "_profile",
+        "_uid_counter",
     )
 
     def __init__(self) -> None:
@@ -41,9 +42,21 @@ class Engine:
         self._in_batch = False
         self._post_hooks: List[Callable[[], None]] = []
         self._events_processed = 0
+        self._uid_counter = 0
         #: Optional self-profiler (see :mod:`repro.telemetry.profile`).
         #: When unset the batch loop is the original untimed hot path.
         self._profile = None
+
+    def next_uid(self) -> int:
+        """Dense run-scoped entity ids (VCPU uids).
+
+        Engine-owned so ids depend only on creation order within the
+        run, never on process history — recorded traces hash
+        identically across serial, parallel and replayed executions.
+        """
+        uid = self._uid_counter
+        self._uid_counter += 1
+        return uid
 
     def set_profiler(self, profiler: Optional[Any]) -> None:
         """Install (or with ``None`` remove) an event-phase profiler.

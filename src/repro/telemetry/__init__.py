@@ -1,5 +1,7 @@
 """Unified telemetry: typed events, the bus, streaming aggregators,
-causal spans, miss blame, and the simulator self-profiler.
+causal spans, miss blame, the simulator self-profiler, and the flight
+recorder (durable traces + divergence diff; what-if replay lives in
+:mod:`repro.telemetry.replay`).
 
 The package is intentionally leaf-like: :mod:`repro.simcore` and
 :mod:`repro.host` import it (every :class:`~repro.host.machine.Machine`
@@ -21,7 +23,9 @@ from .aggregate import (
 )
 from .blame import CAUSES, BlameReport, analyze_spans, attribute_miss
 from .bus import TelemetryBus
+from .diff import TraceDiff, diff_traces
 from .profile import SimProfiler, profile_scope
+from .record import TraceReader, TraceRecorder, merge_traces
 from .spans import Span, SpanBuilder
 
 __all__ = [
@@ -35,6 +39,11 @@ __all__ = [
     "StandardTelemetry",
     "Span",
     "SpanBuilder",
+    "TraceRecorder",
+    "TraceReader",
+    "TraceDiff",
+    "diff_traces",
+    "merge_traces",
     "BlameReport",
     "CAUSES",
     "analyze_spans",

@@ -1,0 +1,166 @@
+"""Structural divergence diff of two recorded traces.
+
+Given two traces of the "same" stimulus (a run and its replay, or one
+recorded load replayed under two schedulers), report *where* they first
+diverge — the earliest index at which the event streams disagree, with
+a window of shared context before it — plus per-kind event-count deltas
+and per-task released/missed/latency deltas.  The diff is structural
+(event tuples compared field-for-field), so it pinpoints the exact
+scheduling decision where behavior forked, not just that end-of-run
+metrics differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import events as T
+from .record import TraceReader
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of :func:`diff_traces`."""
+
+    identical: bool
+    hash_a: str
+    hash_b: str
+    events_a: int
+    events_b: int
+    #: index of the first differing event; None when identical
+    divergence_index: Optional[int]
+    #: the differing events themselves (None when one stream ended)
+    event_a: Optional[Tuple[str, tuple]]
+    event_b: Optional[Tuple[str, tuple]]
+    #: shared events immediately before the divergence, oldest first
+    context: List[Tuple[str, tuple]] = field(default_factory=list)
+    #: per-kind count rows {kind, a, b, delta}, only kinds that differ
+    count_deltas: List[Dict[str, object]] = field(default_factory=list)
+    #: per-task rows {task, released_a/b, missed_a/b, mean_latency_ms_a/b}
+    task_deltas: List[Dict[str, object]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        from ..experiments.common import format_table
+
+        if self.identical:
+            return (
+                f"traces identical: {self.events_a} events, "
+                f"hash {self.hash_a[:16]}"
+            )
+        lines = [
+            f"traces diverge at event #{self.divergence_index} "
+            f"({self.events_a} vs {self.events_b} events)",
+        ]
+        for kind, event in self.context:
+            lines.append(f"    = {kind}: {tuple(event)}")
+        lines.append(f"    A {self._describe(self.event_a)}")
+        lines.append(f"    B {self._describe(self.event_b)}")
+        if self.count_deltas:
+            lines.append("")
+            lines.append(format_table(self.count_deltas, title="Event-count deltas"))
+        if self.task_deltas:
+            lines.append("")
+            lines.append(format_table(self.task_deltas, title="Per-task deltas"))
+        return "\n".join(lines)
+
+    @staticmethod
+    def _describe(entry: Optional[Tuple[str, tuple]]) -> str:
+        if entry is None:
+            return "<end of trace>"
+        kind, event = entry
+        return f"{kind}: {tuple(event)}"
+
+
+def _task_stats(reader: TraceReader) -> Dict[str, List]:
+    """task -> [released, missed, latency_sum_ns, latency_count]."""
+    stats: Dict[str, List] = {}
+    kinds = (T.JOB_RELEASE, T.DEADLINE_MISS, T.JOB_LATENCY)
+    for kind, event in reader.events(kinds=kinds):
+        slot = stats.setdefault(event.task, [0, 0, 0, 0])
+        if kind == T.JOB_RELEASE:
+            slot[0] += 1
+        elif kind == T.DEADLINE_MISS:
+            slot[1] += 1
+        else:
+            slot[2] += event.latency_ns
+            slot[3] += 1
+    return stats
+
+
+def diff_traces(a, b, context: int = 3) -> TraceDiff:
+    """Diff two traces (paths, bytes or readers); see :class:`TraceDiff`."""
+    ra = a if isinstance(a, TraceReader) else TraceReader(a)
+    rb = b if isinstance(b, TraceReader) else TraceReader(b)
+
+    if ra.trace_hash == rb.trace_hash:
+        return TraceDiff(
+            identical=True,
+            hash_a=ra.trace_hash,
+            hash_b=rb.trace_hash,
+            events_a=ra.event_count,
+            events_b=rb.event_count,
+            divergence_index=None,
+            event_a=None,
+            event_b=None,
+        )
+
+    window: deque = deque(maxlen=max(context, 0))
+    index = 0
+    event_a: Optional[Tuple[str, tuple]] = None
+    event_b: Optional[Tuple[str, tuple]] = None
+    it_a, it_b = ra.events(), rb.events()
+    while True:
+        ea = next(it_a, None)
+        eb = next(it_b, None)
+        if ea is None and eb is None:
+            # same stream, different header/meta bytes — treat as the
+            # divergence being "nowhere in the body"
+            index = ra.event_count
+            break
+        if ea != eb:
+            event_a, event_b = ea, eb
+            break
+        window.append(ea)
+        index += 1
+
+    count_deltas = []
+    for kind in sorted(set(ra.counts) | set(rb.counts)):
+        ca, cb = ra.counts.get(kind, 0), rb.counts.get(kind, 0)
+        if ca != cb:
+            count_deltas.append({"kind": kind, "a": ca, "b": cb, "delta": cb - ca})
+
+    stats_a, stats_b = _task_stats(ra), _task_stats(rb)
+    task_deltas = []
+    for task in sorted(set(stats_a) | set(stats_b)):
+        sa = stats_a.get(task, [0, 0, 0, 0])
+        sb = stats_b.get(task, [0, 0, 0, 0])
+        if sa == sb:
+            continue
+        task_deltas.append(
+            {
+                "task": task,
+                "released_a": sa[0],
+                "released_b": sb[0],
+                "missed_a": sa[1],
+                "missed_b": sb[1],
+                "miss_delta": sb[1] - sa[1],
+                "mean_latency_ms_a": round(sa[2] / sa[3] / 1e6, 3) if sa[3] else 0.0,
+                "mean_latency_ms_b": round(sb[2] / sb[3] / 1e6, 3) if sb[3] else 0.0,
+            }
+        )
+
+    return TraceDiff(
+        identical=False,
+        hash_a=ra.trace_hash,
+        hash_b=rb.trace_hash,
+        events_a=ra.event_count,
+        events_b=rb.event_count,
+        divergence_index=index,
+        event_a=event_a,
+        event_b=event_b,
+        context=list(window),
+        count_deltas=count_deltas,
+        task_deltas=task_deltas,
+    )

@@ -230,9 +230,22 @@ class SpanBuilder:
             self._machine = machine
         elif self._machine is None:
             self._machine = machine
+        return self.attach_bus(
+            machine.bus, migration_ns=machine.costs.migration_ns, scope=scope
+        )
+
+    def attach_bus(
+        self, bus, migration_ns: Optional[int] = None, scope: str = ""
+    ) -> "SpanBuilder":
+        """Subscribe to a bare bus (no machine).
+
+        The offline path: ``repro explain <trace>`` pumps a recorded
+        trace through a private bus and needs span assembly without a
+        live machine.  *migration_ns* substitutes for the machine's cost
+        model when the builder was constructed without one.
+        """
         if self._migration_ns is None:
-            self._migration_ns = machine.costs.migration_ns
-        bus = machine.bus
+            self._migration_ns = migration_ns
         cancels = [
             bus.subscribe(T.JOB_RELEASE, self._on_release),
             bus.subscribe(T.ENQUEUE, self._on_enqueue),

@@ -120,7 +120,9 @@ class TestVmChurn:
         ).install(system)
         system.run(msec(20))
         kinds = [d for _, k, d in ctx.log if k == "vm_churn"]
-        assert ("churn0", "boot") in kinds and ("churn0", "shutdown") in kinds
+        # boot records carry (slice, period, lifetime) for trace replay
+        assert ("churn0", "boot", msec(1), msec(4), msec(6)) in kinds
+        assert ("churn0", "shutdown") in kinds
         assert len(system.vms) == before
 
     def test_retired_tasks_keep_their_stats(self):
@@ -207,8 +209,12 @@ class TestWorkloadSurge:
     def test_missing_vm_is_logged(self):
         system = rtvirt()
         ctx = FaultContext(system)
-        WorkloadSurge("ghost").apply(ctx)
-        assert ctx.log[0][1:] == ("workload_surge", ("ghost", "no-such-vm"))
+        surge = WorkloadSurge("ghost")
+        surge.apply(ctx)
+        assert ctx.log[0][1:] == (
+            "workload_surge",
+            ("ghost", "no-such-vm", surge.num, surge.den, surge.duration_ns),
+        )
 
 
 class TestClockJitter:

@@ -1,0 +1,101 @@
+"""Tests for the trace divergence diff.
+
+The headline use: record a healthy run and a run whose scheduler was
+silently broken (reversed EDF priority), and the diff must localize the
+first event where the two executions part ways — debugging a scheduler
+regression from two trace files alone.
+"""
+
+import types
+
+import pytest
+
+from repro.baselines.rtxen import RTXenSystem
+from repro.guest.task import Task
+from repro.simcore.time import msec
+from repro.telemetry import TraceReader, TraceRecorder
+from repro.telemetry import events as T
+from repro.telemetry.diff import diff_traces
+from repro.workloads.periodic import PeriodicDriver
+
+#: Two RTAs whose EDF order matters: under reversed-EDF the heavy 40 ms
+#: server preempts the 10 ms one, so the short-deadline task misses.
+TASKS = ((msec(2), msec(10)), (msec(8), msec(40)))
+
+
+def record_rtxen_run(break_scheduler=False):
+    """Record one single-PCPU gEDF run, optionally with reversed EDF."""
+    system = RTXenSystem(pcpu_count=1, host="gedf")
+    recorder = TraceRecorder(
+        header={"broken": break_scheduler}
+    ).attach(system.machine.bus)
+    for i, (slice_ns, period_ns) in enumerate(TASKS):
+        task = Task(f"t{i}", slice_ns, period_ns)
+        vm = system.create_vm(f"vm{i}", interfaces=[(slice_ns * 2, period_ns)])
+        system.register_rta(vm, task)
+        PeriodicDriver(system.engine, vm, task).start()
+    if break_scheduler:
+        scheduler = system.machine.host_scheduler
+
+        def broken_choose(self):
+            servers = self._eligible()
+            m = self.machine.available_count
+            return list(reversed(servers))[:m]
+
+        scheduler._choose = types.MethodType(broken_choose, scheduler)
+    system.run(msec(200))
+    system.finalize()
+    recorder.detach()
+    return recorder.close()
+
+
+class TestBrokenSchedulerDiff:
+    @pytest.fixture(scope="class")
+    def diff(self):
+        healthy = record_rtxen_run()
+        broken = record_rtxen_run(break_scheduler=True)
+        return diff_traces(TraceReader(healthy), TraceReader(broken))
+
+    def test_diff_pinpoints_divergence(self, diff):
+        assert not diff.identical
+        assert diff.hash_a != diff.hash_b
+        assert diff.divergence_index is not None
+        assert diff.event_a is not None
+        assert diff.event_b is not None
+        assert diff.event_a != diff.event_b
+
+    def test_context_precedes_divergence(self, diff):
+        """Context events are the shared prefix just before the split."""
+        assert len(diff.context) <= 3
+        healthy = list(TraceReader(record_rtxen_run()).events())
+        start = diff.divergence_index - len(diff.context)
+        assert diff.context == healthy[start : diff.divergence_index]
+
+    def test_reversed_edf_shows_up_as_extra_misses(self, diff):
+        deltas = {row["task"]: row for row in diff.task_deltas}
+        assert deltas["t0"]["missed_a"] == 0
+        assert deltas["t0"]["miss_delta"] > 0
+
+    def test_summary_renders_the_story(self, diff):
+        text = diff.summary()
+        assert "traces diverge at event #" in text
+        assert "Per-task deltas" in text
+
+    def test_count_deltas_cover_deadline_misses(self, diff):
+        kinds = {row["kind"] for row in diff.count_deltas}
+        assert T.DEADLINE_MISS in kinds
+
+
+class TestIdenticalTraces:
+    def test_identical_short_circuit(self):
+        data = record_rtxen_run()
+        diff = diff_traces(TraceReader(data), TraceReader(data))
+        assert diff.identical
+        assert diff.divergence_index is None
+        assert diff.count_deltas == []
+        assert "traces identical" in diff.summary()
+
+    def test_recorded_runs_are_reproducible(self):
+        """Two fresh recordings of the same system diff as identical."""
+        diff = diff_traces(record_rtxen_run(), record_rtxen_run())
+        assert diff.identical

@@ -27,6 +27,7 @@ class TestRunAll:
                 "table2,fig3",
                 "--cache-dir",
                 str(tmp_path / "cache"),
+                "--no-ledger",
             ]
         )
         assert rc == 0
@@ -37,19 +38,22 @@ class TestRunAll:
 
     def test_run_all_warm_cache_reuses_units(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
-        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        args = ["run-all", "--only", "table2", "--cache-dir", cache_dir,
+                "--no-ledger"]
+        main(args)
         capsys.readouterr()
-        assert main(["run-all", "--only", "table2", "--cache-dir", cache_dir]) == 0
+        assert main(args) == 0
         out = capsys.readouterr().out
         assert "cache: 1 hits, 0 misses" in out
 
     def test_run_all_no_cache(self, capsys, tmp_path):
-        rc = main(["run-all", "--only", "fig3", "--no-cache"])
+        rc = main(["run-all", "--only", "fig3", "--no-cache", "--no-ledger"])
         assert rc == 0
         assert "cache disabled" in capsys.readouterr().out
 
     def test_run_all_summaries(self, capsys, tmp_path):
-        rc = main(["run-all", "--only", "table2", "--no-cache", "--summaries"])
+        rc = main(["run-all", "--only", "table2", "--no-cache",
+                   "--no-ledger", "--summaries"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "Table 2" in out and "(4,5)" in out
@@ -83,24 +87,50 @@ class TestRun:
 
 class TestCacheCommand:
     def test_stats_on_empty_cache(self, capsys, tmp_path):
-        rc = main(["cache", "stats", "--cache-dir", str(tmp_path / "cache")])
+        rc = main(
+            [
+                "cache",
+                "stats",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--runs-dir",
+                str(tmp_path / "runs"),
+            ]
+        )
         assert rc == 0
         out = capsys.readouterr().out
         assert "entries: 0" in out
         assert "no recorded run" in out
+        assert "runs: 0" in out
 
     def test_stats_after_a_run(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
-        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        runs_dir = str(tmp_path / "runs")
+        main(
+            [
+                "run-all",
+                "--only",
+                "table2",
+                "--cache-dir",
+                cache_dir,
+                "--runs-dir",
+                runs_dir,
+            ]
+        )
         capsys.readouterr()
-        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        rc = main(
+            ["cache", "stats", "--cache-dir", cache_dir, "--runs-dir", runs_dir]
+        )
+        assert rc == 0
         out = capsys.readouterr().out
         assert "entries: 1" in out
         assert "last run: 0 hits, 1 misses, 1 writes" in out
+        assert "runs: 1" in out
 
     def test_clear(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
-        main(["run-all", "--only", "table2", "--cache-dir", cache_dir])
+        main(["run-all", "--only", "table2", "--cache-dir", cache_dir,
+              "--no-ledger"])
         capsys.readouterr()
         assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
         assert "cleared 1 entries" in capsys.readouterr().out
@@ -128,15 +158,69 @@ class TestCacheCommand:
 
     def test_prune_evicts_down_to_budget(self, capsys, tmp_path):
         cache_dir = str(tmp_path / "cache")
-        main(["run-all", "--only", "table2,fig3", "--cache-dir", cache_dir])
+        runs_dir = str(tmp_path / "runs")
+        main(["run-all", "--only", "table2,fig3", "--cache-dir", cache_dir,
+              "--no-ledger"])
         capsys.readouterr()
         rc = main(
-            ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "0"]
+            [
+                "cache",
+                "prune",
+                "--cache-dir",
+                cache_dir,
+                "--runs-dir",
+                runs_dir,
+                "--max-bytes",
+                "0",
+            ]
         )
         assert rc == 0
-        assert "pruned 2 entries" in capsys.readouterr().out
+        assert "pruned 2 cache entries" in capsys.readouterr().out
         main(["cache", "stats", "--cache-dir", cache_dir])
         assert "entries: 0" in capsys.readouterr().out
+
+    def test_prune_sweeps_ledger_runs_lru_first(self, capsys, tmp_path):
+        """The oldest store — cache entry or run dir — is evicted first."""
+        import os
+        import time as _time
+
+        cache_dir = str(tmp_path / "cache")
+        runs_dir = str(tmp_path / "runs")
+        main(
+            [
+                "run-all",
+                "--only",
+                "table2",
+                "--cache-dir",
+                cache_dir,
+                "--runs-dir",
+                runs_dir,
+            ]
+        )
+        capsys.readouterr()
+        # Age the ledger run far behind the cache entry.
+        run_dir = os.path.join(runs_dir, os.listdir(runs_dir)[0])
+        old = _time.time() - 10_000
+        for name in os.listdir(run_dir):
+            os.utime(os.path.join(run_dir, name), (old, old))
+        from repro.runner.cache import ResultCache
+
+        cache_bytes = ResultCache(cache_dir, salt="").stats()["bytes"]
+        rc = main(
+            [
+                "cache",
+                "prune",
+                "--cache-dir",
+                cache_dir,
+                "--runs-dir",
+                runs_dir,
+                "--max-bytes",
+                str(cache_bytes),
+            ]
+        )
+        assert rc == 0
+        assert "pruned 0 cache entries and 1 ledger runs" in capsys.readouterr().out
+        assert os.listdir(runs_dir) == []
 
 
 class TestExplain:
@@ -230,3 +314,109 @@ class TestCluster:
     def test_cluster_needs_two_hosts(self, capsys):
         assert main(["cluster", "--hosts", "1"]) == 2
         assert "at least 2 hosts" in capsys.readouterr().err
+
+class TestRunAllLedger:
+    def test_run_all_writes_manifest(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        rc = main(
+            [
+                "run-all",
+                "--only",
+                "table2",
+                "--no-cache",
+                "--runs-dir",
+                str(runs_dir),
+            ]
+        )
+        assert rc == 0
+        assert "ledger:" in capsys.readouterr().out
+        import json
+
+        stamps = list(runs_dir.iterdir())
+        assert len(stamps) == 1
+        manifest = json.loads((stamps[0] / "manifest.json").read_text())
+        assert manifest["stamp"] == stamps[0].name
+        assert manifest["jobs"] == 1
+        assert manifest["event_queue"]
+        entry = manifest["experiments"]["table2"]
+        assert entry["rows"] > 0
+        assert len(entry["rows_sha256"]) == 64
+        assert entry["units"] == len(entry["unit_walls"])
+
+    def test_no_ledger_skips_manifest(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        rc = main(
+            [
+                "run-all",
+                "--only",
+                "table2",
+                "--no-cache",
+                "--no-ledger",
+                "--runs-dir",
+                str(runs_dir),
+            ]
+        )
+        assert rc == 0
+        assert not runs_dir.exists()
+
+
+class TestTraceCommand:
+    def _record(self, tmp_path, capsys):
+        path = str(tmp_path / "fail.rtvt")
+        rc = main(
+            [
+                "trace",
+                "record",
+                "robustness_pcpu_fail",
+                "--duration-s",
+                "1",
+                "-o",
+                path,
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        return path
+
+    def test_record_and_inspect(self, capsys, tmp_path):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "inspect", path]) == 0
+        out = capsys.readouterr().out
+        assert "fault: pcpu_fail" in out
+        assert "scheduler: RTVirt" in out
+        assert "hash:" in out
+        assert "job_release" in out
+
+    def test_record_rejects_unknown_fault(self, capsys, tmp_path):
+        rc = main(["trace", "record", "robustness_nope"])
+        assert rc == 2
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_replay_round_trip_matches(self, capsys, tmp_path):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "round trip vs recorded rows: MATCH" in out
+
+    def test_what_if_replay_diffs(self, capsys, tmp_path):
+        path = self._record(tmp_path, capsys)
+        rc = main(
+            ["trace", "replay", path, "--scheduler", "Credit", "--diff"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "what-if: recorded under RTVirt, replayed under Credit" in out
+        assert "traces diverge at event #" in out
+        assert "Per-task deltas" in out
+
+    def test_diff_identical_trace_exits_zero(self, capsys, tmp_path):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "diff", path, path]) == 0
+        assert "traces identical" in capsys.readouterr().out
+
+    def test_explain_accepts_trace_file(self, capsys, tmp_path):
+        path = self._record(tmp_path, capsys)
+        assert main(["explain", path]) == 0
+        out = capsys.readouterr().out
+        assert "deadline-miss blame" in out
+        assert "pcpu_fail under RTVirt" in out

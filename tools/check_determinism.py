@@ -35,6 +35,17 @@ how the work units were scheduled.  Like ``--streams`` it stands alone:
 
     python tools/check_determinism.py --blame 4
 
+With ``--trace N`` the flight-recorder sweep (``repro.telemetry
+.trace_plan``) records a fixed two-family robustness sharding three
+times — serially, across N workers, and serially again under the
+reference heap event queue — and the merged trace's *canonical hash*
+(a digest of every telemetry event the runs emitted, not just the end
+metrics) must be identical in all three: the gate that the simulated
+event stream itself is byte-stable under work-unit re-scheduling and
+the queue-implementation swap.  Like ``--streams`` it stands alone:
+
+    python tools/check_determinism.py --trace 4
+
 With ``--cluster N`` every ``cluster_*`` experiment (the multi-host
 family, sharded per observed host) runs serially and again through the
 parallel work-unit runner with N worker processes, and each
@@ -259,6 +270,72 @@ def check_blame(jobs: int, seed=None) -> list:
     return failures
 
 
+def check_trace(jobs: int, seed=None) -> list:
+    """Flight-recorder gate: canonical trace hashes survive resharding.
+
+    Records a fixed robustness trace sweep (two fault families, every
+    scheduler, 1 simulated second) in-process, again across *jobs*
+    worker processes, and a third time serially under the reference
+    heap event queue (``REPRO_EVENT_QUEUE=heap``).  The merged trace —
+    every telemetry event of every cell, framed in canonical unit
+    order — must hash identically in all three executions: the event
+    *stream*, not just the derived metrics, is byte-stable.
+    """
+    from repro.runner.executor import execute_plan
+    from repro.simcore.time import sec
+    from repro.telemetry.trace_plan import trace_plan
+
+    print(f"[determinism] trace-sweep rerun with {jobs} job(s) ...", flush=True)
+    plan = trace_plan(
+        faults=("pcpu_fail", "vm_churn"),
+        duration_ns=sec(1),
+        seed=seed if seed is not None else 11,
+    )
+    serial = execute_plan(plan, jobs=1)
+    parallel = execute_plan(plan, jobs=max(1, jobs))
+    failures = []
+    verdict = "ok" if parallel.merged_hash == serial.merged_hash else "DIVERGED"
+    print(
+        f"[determinism]   trace/merged: parallel {parallel.merged_hash[:16]} "
+        f"vs serial {serial.merged_hash[:16]}: {verdict}",
+        flush=True,
+    )
+    if parallel.merged_hash != serial.merged_hash:
+        failures.append(
+            f"trace/merged: parallel hash {parallel.merged_hash[:16]} "
+            f"!= serial {serial.merged_hash[:16]}"
+        )
+        for serial_part, parallel_part in zip(serial.parts, parallel.parts):
+            if serial_part["hash"] != parallel_part["hash"]:
+                cell = f"{serial_part['fault']}/{serial_part['scheduler']}"
+                failures.append(
+                    f"trace/{cell}: parallel shard {parallel_part['hash'][:16]} "
+                    f"!= serial {serial_part['hash'][:16]}"
+                )
+    print("[determinism] trace-sweep heap-queue rerun ...", flush=True)
+    previous = os.environ.get("REPRO_EVENT_QUEUE")
+    os.environ["REPRO_EVENT_QUEUE"] = "heap"
+    try:
+        heap = execute_plan(plan, jobs=1)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_EVENT_QUEUE", None)
+        else:
+            os.environ["REPRO_EVENT_QUEUE"] = previous
+    verdict = "ok" if heap.merged_hash == serial.merged_hash else "DIVERGED"
+    print(
+        f"[determinism]   trace/merged: heap {heap.merged_hash[:16]} "
+        f"vs calendar {serial.merged_hash[:16]}: {verdict}",
+        flush=True,
+    )
+    if heap.merged_hash != serial.merged_hash:
+        failures.append(
+            f"trace/merged: heap-queue hash {heap.merged_hash[:16]} "
+            f"!= calendar {serial.merged_hash[:16]}"
+        )
+    return failures
+
+
 def check_cluster(jobs: int, seed=None) -> list:
     """Cluster gate: per-host shards merge byte-identically.
 
@@ -450,6 +527,15 @@ def main(argv=None) -> int:
         "(does not rerun the experiment registry)",
     )
     parser.add_argument(
+        "--trace",
+        type=int,
+        metavar="JOBS",
+        help="record the flight-recorder trace sweep serially, with JOBS "
+        "processes and under the reference heap queue, and fail unless "
+        "the merged canonical trace hashes are identical (does not "
+        "rerun the experiment registry)",
+    )
+    parser.add_argument(
         "--cluster",
         type=int,
         metavar="JOBS",
@@ -488,6 +574,7 @@ def main(argv=None) -> int:
         or args.parallel
         or args.streams
         or args.blame
+        or args.trace
         or args.cluster
         or args.feedback
         or args.queue
@@ -495,10 +582,17 @@ def main(argv=None) -> int:
     ):
         parser.error(
             "one of --record, --check, --parallel, --streams, --blame, "
-            "--cluster, --feedback, --queue or --cache is required"
+            "--trace, --cluster, --feedback, --queue or --cache is required"
         )
 
-    if args.parallel or args.streams or args.blame or args.cluster or args.feedback:
+    if (
+        args.parallel
+        or args.streams
+        or args.blame
+        or args.trace
+        or args.cluster
+        or args.feedback
+    ):
         # The cross-process gates must actually cross processes, even on
         # hosts where the executor would collapse the pool to one CPU.
         os.environ["REPRO_RUNNER_FORCE_POOL"] = "1"
@@ -535,6 +629,8 @@ def main(argv=None) -> int:
         failures.extend(check_streams(args.streams))
     if args.blame:
         failures.extend(check_blame(args.blame, seed=args.seed))
+    if args.trace:
+        failures.extend(check_trace(args.trace, seed=args.seed))
     if args.cluster:
         failures.extend(check_cluster(args.cluster, seed=args.seed))
     if args.feedback:
@@ -576,6 +672,8 @@ def main(argv=None) -> int:
         checks.append("streamed-aggregates")
     if args.blame:
         checks.append("blame-reports")
+    if args.trace:
+        checks.append("trace-hashes")
     if args.cluster:
         checks.append("cluster-shards")
     if args.feedback:
@@ -586,6 +684,8 @@ def main(argv=None) -> int:
         standalone.append("telemetry streams")
     if args.blame:
         standalone.append("blame sweep")
+    if args.trace:
+        standalone.append("trace sweep")
     if args.cluster:
         standalone.append("cluster shards")
     if args.feedback:

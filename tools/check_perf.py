@@ -36,6 +36,16 @@ ported/direct wall ratio over interleaved pairs must stay within the
 tolerance.  In-session A/B is what makes 5% measurable: committed
 baselines drift with machine load, paired passes don't.
 
+``--recorder-tolerance`` (default 5%) gates the flight recorder's
+detached path the same way: the engine benchmark runs with a
+``TraceRecorder`` attached to the bus and detached again before the
+timed section, so throughput measures the post-detach fast path.
+
+Every fully-passing run (unless ``--no-history``) appends one JSON line
+to ``BENCH_history.jsonl`` — stamp, git sha, engine events/sec,
+registry wall and slowest unit — the durable benchmark trajectory that
+complements the latest-state ``BENCH_*.json`` baselines.
+
 The engine benchmark compares best-of-``--repeat`` fresh runs so a
 loaded machine does not trip the gate spuriously; raise ``--repeat``
 (or the tolerances) on noisy hardware.  Exit status: 0 on pass, 1 on
@@ -79,6 +89,7 @@ def check_throughput(
     repeat: int,
     telemetry_tolerance: float = 0.0,
     spans_tolerance: float = 0.0,
+    history: dict = None,
 ) -> int:
     """Engine gate, plus the telemetry- and spans-overhead gates.
 
@@ -110,6 +121,8 @@ def check_throughput(
 
     reference = baseline["events_per_sec"]
     fresh = best["events_per_sec"]
+    if history is not None:
+        history["events_per_sec"] = fresh
     floor = reference * (1.0 - tolerance)
     verdict = "ok" if fresh >= floor else "REGRESSION"
     print(
@@ -144,6 +157,49 @@ def check_throughput(
             "re-record BENCH_engine.json if the change is intended"
         )
     return 2 if failed else 0
+
+
+def check_recorder_overhead(tolerance: float, repeat: int) -> int:
+    """Recorder-detached gate: a detached flight recorder costs nothing.
+
+    The flight recorder subscribes to every telemetry kind while
+    attached; once detached the bus must fall back to its cached
+    zero-subscriber fast path.  This gate runs the engine benchmark
+    with a :class:`~repro.telemetry.record.TraceRecorder` attached and
+    immediately detached before the timed run — so the hot path starts
+    from the post-detach bus state — and the best-of-*repeat*
+    throughput must stay within *tolerance* of the committed baseline,
+    the same floor discipline as the telemetry/spans gates.
+    """
+    if not os.path.exists(BASELINE):
+        print(f"check_perf: no committed baseline at {BASELINE}")
+        return 3
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)
+
+    from benchmarks.bench_engine_throughput import run_benchmark
+    from repro.telemetry.record import TraceRecorder
+
+    def attach_detach(system) -> None:
+        recorder = TraceRecorder()
+        recorder.attach(system.machine.bus)
+        recorder.detach()
+        recorder.close()
+
+    best = None
+    for _ in range(max(1, repeat)):
+        record = run_benchmark(setup=attach_detach)
+        if best is None or record["events_per_sec"] > best["events_per_sec"]:
+            best = record
+    reference = baseline["events_per_sec"]
+    fresh = best["events_per_sec"]
+    floor = reference * (1.0 - tolerance)
+    verdict = "ok" if fresh >= floor else "REGRESSION"
+    print(
+        f"check_perf: recorder-detached gate: {fresh:.1f} events/sec vs "
+        f"floor {floor:.1f} (tolerance {tolerance:.0%}): {verdict}"
+    )
+    return 0 if fresh >= floor else 2
 
 
 #: Fast, fully sharded experiments for the parallel-overhead gate
@@ -243,6 +299,7 @@ def check_registry_wall(
     tolerance: float,
     jobs: int = 0,
     max_unit_s: float = 18.0,
+    history: dict = None,
 ) -> int:
     """Full-registry gate: parallel wall time vs ``BENCH_registry.json``.
 
@@ -280,6 +337,13 @@ def check_registry_wall(
         f"(ceiling {ceiling:.1f}s, tolerance {tolerance:.0%}): {verdict}"
     )
     failed = fresh["wall_s"] > ceiling
+    if history is not None:
+        history["registry_wall_s"] = round(fresh["wall_s"], 2)
+        if fresh.get("per_unit_s"):
+            unit_id, unit_s = max(
+                fresh["per_unit_s"].items(), key=lambda item: item[1]
+            )
+            history["slowest_unit"] = {"id": unit_id, "wall_s": round(unit_s, 2)}
     base_units = baseline.get("per_unit_serial_s") or {}
     fresh_units = fresh.get("per_unit_s") or {}
     shared = set(base_units) & set(fresh_units)
@@ -306,6 +370,34 @@ def check_registry_wall(
         )
         failed = failed or slowest > max_unit_s
     return 2 if failed else 0
+
+
+HISTORY = os.path.join(REPO_ROOT, "BENCH_history.jsonl")
+
+
+def append_history(history: dict) -> None:
+    """Append an accepted run to the benchmark history ledger.
+
+    ``BENCH_engine.json``/``BENCH_registry.json`` only hold the latest
+    accepted state; the history file keeps the full trajectory — one
+    JSON line per fully-passing ``check_perf`` run with the stamp, git
+    sha, engine throughput and registry wall — so regressions can be
+    dated after the fact.
+    """
+    import time as _time
+
+    from repro.runner.ledger import git_sha
+
+    entry = dict(
+        {
+            "stamp": _time.strftime("%Y%m%d-%H%M%S", _time.gmtime()),
+            "git_sha": git_sha(REPO_ROOT),
+        },
+        **history,
+    )
+    with open(HISTORY, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"check_perf: appended accepted run to {HISTORY}")
 
 
 def main(argv=None) -> int:
@@ -340,6 +432,16 @@ def main(argv=None) -> int:
         "(default 0.05; 0 disables the gate)",
     )
     parser.add_argument(
+        "--recorder-tolerance", type=float, default=0.05,
+        help="allowed recorder-detached overhead on engine throughput — "
+        "a flight recorder attached to the bus and detached again "
+        "before the timed run (default 0.05; 0 disables the gate)",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to BENCH_history.jsonl",
+    )
+    parser.add_argument(
         "--control-tolerance", type=float, default=0.05,
         help="allowed no-controller overhead of the actuation-port path "
         "vs the direct-call shape (REPRO_DIRECT_ACTUATION=1) on a "
@@ -370,6 +472,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    history: dict = {}
     if not args.skip_tests:
         print("check_perf: running tier-1 test suite ...")
         if not run_tier1_tests():
@@ -380,9 +483,14 @@ def main(argv=None) -> int:
         args.repeat,
         telemetry_tolerance=args.telemetry_tolerance,
         spans_tolerance=args.spans_tolerance,
+        history=history,
     )
     if status:
         return status
+    if args.recorder_tolerance > 0:
+        status = check_recorder_overhead(args.recorder_tolerance, args.repeat)
+        if status:
+            return status
     if not args.skip_parallel:
         status = check_parallel_overhead(args.parallel_tolerance)
         if status:
@@ -391,11 +499,18 @@ def main(argv=None) -> int:
         status = check_control_overhead(args.control_tolerance, args.repeat)
         if status:
             return status
-    if args.skip_registry:
-        return 0
-    return check_registry_wall(
-        args.registry_tolerance, args.registry_jobs, args.max_unit_s
-    )
+    if not args.skip_registry:
+        status = check_registry_wall(
+            args.registry_tolerance,
+            args.registry_jobs,
+            args.max_unit_s,
+            history=history,
+        )
+        if status:
+            return status
+    if not args.no_history:
+        append_history(history)
+    return 0
 
 
 if __name__ == "__main__":
